@@ -1,0 +1,54 @@
+"""E5: the O(log log n + log Delta) proof size of planarity (Theorem 1.5).
+
+Paper claim: planarity needs an extra O(log Delta) term (the rotation
+transfer), unlike embedded planarity; whether it can be removed is the
+paper's main open question.  Measured: proof size of the planarity
+protocol on hub-and-cycle graphs (fixed n, max degree swept) -- the
+rotation-transfer bits grow like 2 log2(Delta) while everything else
+stays put.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.experiments import print_table
+from repro.analysis.metrics import linear_fit
+from repro.graphs.generators import hub_and_cycle
+from repro.protocols.instances import PlanarityInstance
+from repro.protocols.planarity import PlanarityProtocol
+
+N = 400
+DELTAS = (4, 8, 16, 64, 128)
+
+
+def test_delta_dependence(benchmark):
+    proto = PlanarityProtocol(c=2)
+    rows = []
+    transfer_bits = []
+    totals = []
+    for delta in DELTAS:
+        g = hub_and_cycle(N, delta)
+        res = proto.execute(PlanarityInstance(g), rng=random.Random(delta))
+        assert res.accepted
+        transfer_bits.append(res.meta["rotation_bits_per_edge"])
+        totals.append(res.proof_size_bits)
+        rows.append(
+            (delta, res.meta["rotation_bits_per_edge"], res.proof_size_bits)
+        )
+    print_table(
+        f"E5 planarity at n={N}: Delta sweep (paper: +O(log Delta))",
+        ("max degree", "rotation bits/edge", "total proof bits"),
+        rows,
+    )
+    fit = linear_fit([math.log2(d) for d in DELTAS], transfer_bits)
+    print(f"rotation bits vs log2(Delta): {fit}")
+    # 2 values per edge, each ~log2(Delta) bits
+    assert 1.5 <= fit.slope <= 2.5 and fit.r2 > 0.95
+    # the log Delta term is present end to end
+    assert transfer_bits[-1] >= transfer_bits[0] + 2 * (7 - 2)
+    assert totals[-1] >= totals[0]
+    g = hub_and_cycle(N, 16)
+    inst = PlanarityInstance(g)
+    benchmark(lambda: proto.execute(inst, rng=random.Random(0)))

@@ -1,0 +1,59 @@
+"""E6: Theorem 1.8 -- one-round proofs need Omega(log n) bits.
+
+Paper claim: any one-round DIP for the paper's families needs Omega(log n)
+bits, even with a randomized verifier and unbounded shared randomness.
+Measured: the cut-and-paste surgery on the cycle family succeeds against
+every sub-logarithmic labeling we throw at it (including randomness-salted
+ones, for every draw of the shared string), and the minimum resistant
+label size of the position family tracks log2(n) exactly.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.experiments import print_table
+from repro.lowerbound import (
+    CutAndPasteAttack,
+    TruncatedPositionScheme,
+    attack_success_rate,
+    min_resistant_label_size,
+)
+from repro.lowerbound.cut_and_paste import (
+    RandomLabelScheme,
+    SaltedPositionScheme,
+    pigeonhole_bound,
+    views_preserved,
+)
+
+NS = (64, 128, 256, 512, 1024, 4096)
+
+
+def test_lower_bound_curve(benchmark):
+    rows = []
+    for n in NS:
+        resistant = min_resistant_label_size(TruncatedPositionScheme, n, trials=3)
+        rows.append((n, pigeonhole_bound(n), resistant, int(math.log2(n))))
+        assert resistant == int(math.log2(n))
+    print_table(
+        "E6 min label size resisting cut-and-paste (paper: Omega(log n))",
+        ("n", "pigeonhole floor (any scheme)", "measured (positions)", "log2 n"),
+        rows,
+    )
+    # randomized verifiers / shared randomness do not help (paper's
+    # strengthening): the attack wins on every shared-random draw
+    salted = attack_success_rate(SaltedPositionScheme(4), 512, trials=30)
+    hashed = attack_success_rate(RandomLabelScheme(3), 512, trials=30)
+    print(f"salted-position scheme (4 bits), attack success: {salted:.2f}")
+    print(f"random-label scheme (3 bits), attack success:   {hashed:.2f}")
+    assert salted == 1.0 and hashed == 1.0
+
+    attack = CutAndPasteAttack(1024)
+
+    def run_attack():
+        result = attack.run(TruncatedPositionScheme(5), random.Random(0))
+        assert result is not None and views_preserved(result, 1024)
+        return result
+
+    benchmark(run_attack)

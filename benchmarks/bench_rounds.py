@@ -1,0 +1,74 @@
+"""E2: interaction-round counts.
+
+Paper claim: 5 interaction rounds for every theorem protocol, 3 for the
+Lemma-2.5 substrate, 1 for the baselines.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.experiments import print_table
+from repro.core.network import norm_edge
+from repro.graphs.generators import random_planar
+from repro.graphs.spanning import bfs_spanning_tree
+from repro.protocols.baselines import (
+    PLSPathOuterplanarityProtocol,
+    TrivialLRSortingProtocol,
+)
+from repro.protocols.instances import SpanningSubgraphInstance
+from repro.protocols.lr_sorting import LRSortingProtocol
+from repro.protocols.outerplanarity import OuterplanarityProtocol
+from repro.protocols.path_outerplanarity import PathOuterplanarityProtocol
+from repro.protocols.planar_embedding import PlanarEmbeddingProtocol
+from repro.protocols.planarity import PlanarityProtocol
+from repro.protocols.series_parallel import SeriesParallelProtocol
+from repro.protocols.spanning_tree import SpanningTreeVerificationProtocol
+from repro.protocols.treewidth2 import Treewidth2Protocol
+
+from conftest import (
+    embedding_instance,
+    lr_instance,
+    outerplanar_instance,
+    path_op_instance,
+    planarity_instance,
+    sp_instance,
+    tw2_instance,
+)
+
+
+def _stv_instance(n, rng):
+    g = random_planar(n, rng)
+    tree = bfs_spanning_tree(g, 0)
+    return SpanningSubgraphInstance(
+        g, frozenset(norm_edge(u, v) for u, v in tree.edges())
+    )
+
+
+def test_round_counts(benchmark):
+    rng = random.Random(3)
+    cases = [
+        ("T1.2 path-outerplanarity", PathOuterplanarityProtocol(c=2), path_op_instance, 5),
+        ("T1.3 outerplanarity", OuterplanarityProtocol(c=2), outerplanar_instance, 5),
+        ("T1.4 planar embedding", PlanarEmbeddingProtocol(c=2), embedding_instance, 5),
+        ("T1.5 planarity", PlanarityProtocol(c=2), planarity_instance, 5),
+        ("T1.6 series-parallel", SeriesParallelProtocol(c=2), sp_instance, 5),
+        ("T1.7 treewidth <= 2", Treewidth2Protocol(c=2), tw2_instance, 5),
+        ("L4.1 LR-sorting", LRSortingProtocol(c=2), lr_instance, 5),
+        ("L2.5 spanning tree", SpanningTreeVerificationProtocol(), _stv_instance, 3),
+        ("baseline PLS path-op", PLSPathOuterplanarityProtocol(), path_op_instance, 1),
+        ("baseline trivial LR", TrivialLRSortingProtocol(), lr_instance, 1),
+    ]
+    rows = []
+    for name, proto, factory, expected in cases:
+        inst = factory(128, rng)
+        res = proto.execute(inst, rng=random.Random(0))
+        assert res.accepted, name
+        assert res.n_rounds == expected, name
+        rows.append((name, expected, res.n_rounds))
+    print_table(
+        "E2 rounds (paper: 5 / 3 / 1)", ("protocol", "paper", "measured"), rows
+    )
+    inst = path_op_instance(128, rng)
+    proto = PathOuterplanarityProtocol(c=2)
+    benchmark(lambda: proto.execute(inst, rng=random.Random(0)))

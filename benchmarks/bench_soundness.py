@@ -1,0 +1,161 @@
+"""E4: perfect completeness and 1/polylog(n) soundness.
+
+Paper claim: every protocol has perfect completeness; soundness error is
+1/polylog n.  Measured: honest acceptance rates (must be exactly 1.0) and
+empirical rejection rates against the adversary suite with Wilson 95%
+intervals.
+"""
+
+import random
+
+import pytest
+
+from repro.adversaries import (
+    ForcedWitnessProver,
+    IndexLiarProver,
+    InnerBlockLiarProver,
+    SwappedBlocksProver,
+)
+from repro.analysis.experiments import (
+    completeness_sweep,
+    print_table,
+    soundness_sweep,
+)
+from repro.graphs.generators import (
+    add_crossing_chord,
+    random_nonplanar,
+    random_path_outerplanar,
+    random_planar_not_outerplanar,
+    random_not_treewidth2,
+)
+from repro.protocols.instances import (
+    OuterplanarInstance,
+    PathOuterplanarInstance,
+    PlanarityInstance,
+    SeriesParallelInstance,
+    Treewidth2Instance,
+)
+from repro.protocols.lr_sorting import LRSortingProtocol
+from repro.protocols.outerplanarity import OuterplanarityProtocol
+from repro.protocols.path_outerplanarity import PathOuterplanarityProtocol
+from repro.protocols.planarity import PlanarityProtocol
+from repro.protocols.series_parallel import SeriesParallelProtocol
+from repro.protocols.treewidth2 import Treewidth2Protocol
+
+from conftest import (
+    lr_instance,
+    outerplanar_instance,
+    path_op_instance,
+    planarity_instance,
+    sp_instance,
+    tw2_instance,
+)
+
+
+def _crossing_instance(n, rng):
+    g, path = random_path_outerplanar(n, rng, density=0.6)
+    return PathOuterplanarInstance(add_crossing_chord(g, path, rng))
+
+
+def test_completeness_is_perfect(benchmark):
+    cases = [
+        ("T1.2", PathOuterplanarityProtocol(c=2), path_op_instance),
+        ("T1.3", OuterplanarityProtocol(c=2), outerplanar_instance),
+        ("T1.5", PlanarityProtocol(c=2), planarity_instance),
+        ("T1.6", SeriesParallelProtocol(c=2), sp_instance),
+        ("T1.7", Treewidth2Protocol(c=2), tw2_instance),
+        ("L4.1", LRSortingProtocol(c=2), lr_instance),
+    ]
+    rows = []
+    for name, proto, factory in cases:
+        stats = completeness_sweep(proto, factory, n=100, trials=15, seed=2)
+        rows.append((name, stats["rate"], stats["trials"]))
+        assert stats["rate"] == 1.0, name
+    print_table(
+        "E4a completeness (paper: perfect)", ("protocol", "rate", "trials"), rows
+    )
+    proto = LRSortingProtocol(c=2)
+    rng = random.Random(0)
+    inst = lr_instance(100, rng)
+    benchmark(lambda: proto.execute(inst, rng=random.Random(0)))
+
+
+def test_soundness_against_adversaries(benchmark):
+    lr = LRSortingProtocol(c=2)
+    rows = []
+    cases = [
+        (
+            "LR: honest machinery, 1 back edge",
+            lr,
+            lambda n, rng: lr_instance(n, rng, flip_edges=1),
+            None,
+        ),
+        (
+            "LR: swapped-blocks prover",
+            lr,
+            lambda n, rng: lr_instance(n, rng),
+            SwappedBlocksProver,
+        ),
+        (
+            "LR: inner-block liar",
+            lr,
+            lambda n, rng: lr_instance(n, rng, flip_edges=1),
+            InnerBlockLiarProver,
+        ),
+        (
+            "LR: index liar",
+            lr,
+            lambda n, rng: lr_instance(n, rng, flip_edges=1),
+            IndexLiarProver,
+        ),
+        (
+            "T1.2: crossing chord",
+            PathOuterplanarityProtocol(c=2),
+            _crossing_instance,
+            None,
+        ),
+        (
+            "T1.3: planar non-outerplanar",
+            OuterplanarityProtocol(c=2),
+            lambda n, rng: OuterplanarInstance(random_planar_not_outerplanar(n, rng)),
+            None,
+        ),
+        (
+            "T1.5: non-planar",
+            PlanarityProtocol(c=2),
+            lambda n, rng: PlanarityInstance(random_nonplanar(n, rng)),
+            None,
+        ),
+        (
+            "T1.6: K4 subdivision",
+            SeriesParallelProtocol(c=2),
+            lambda n, rng: SeriesParallelInstance(random_not_treewidth2(n, rng)),
+            None,
+        ),
+        (
+            "T1.7: K4 subdivision",
+            Treewidth2Protocol(c=2),
+            lambda n, rng: Treewidth2Instance(random_not_treewidth2(n, rng)),
+            None,
+        ),
+    ]
+    for name, proto, factory, adversary in cases:
+        stats = soundness_sweep(
+            proto,
+            factory,
+            n=100,
+            trials=15,
+            seed=3,
+            prover_factory=adversary,
+        )
+        lo, hi = stats["wilson_95"]
+        rows.append((name, f"{stats['rate']:.2f}", f"[{lo:.2f}, {hi:.2f}]"))
+        assert stats["rate"] >= 0.9, name  # 1/polylog n slack
+    print_table(
+        "E4b rejection rates (paper: 1 - 1/polylog n)",
+        ("attack", "rejection rate", "Wilson 95%"),
+        rows,
+    )
+    rng = random.Random(1)
+    inst = lr_instance(100, rng, flip_edges=1)
+    benchmark(lambda: lr.execute(inst, rng=random.Random(0)))

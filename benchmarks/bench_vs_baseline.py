@@ -1,0 +1,100 @@
+"""E3: the exponential gap vs one-round Theta(log n) schemes.
+
+Paper claim: interaction buys exponentially shorter labels -- O(log log n)
+vs the Theta(log n) of proof labeling schemes (and of Theorem 1.8's lower
+bound).  Measured: paired size sweeps.  The PLS grows by exactly 3 bits
+per doubling of n (3 explicit positions per label); the DIP's growth per
+doubling shrinks toward zero.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.experiments import print_table
+from repro.analysis.metrics import extrapolation_test, fit_against_log
+from repro.protocols.baselines import (
+    PLSPathOuterplanarityProtocol,
+    PLSPlanarityProtocol,
+    TrivialLRSortingProtocol,
+)
+from repro.protocols.lr_sorting import LRSortingProtocol
+from repro.protocols.path_outerplanarity import PathOuterplanarityProtocol
+from repro.protocols.planarity import PlanarityProtocol
+
+from conftest import lr_instance, path_op_instance, planarity_instance
+
+NS = (64, 256, 1024, 4096)
+
+
+def _sweep(proto, factory, seed=5):
+    rng = random.Random(seed)
+    sizes = []
+    for n in NS:
+        inst = factory(n, rng)
+        res = proto.execute(inst, rng=random.Random(n))
+        assert res.accepted
+        sizes.append(res.proof_size_bits)
+    return sizes
+
+
+@pytest.mark.parametrize(
+    "task,dip,pls,factory",
+    [
+        (
+            "path-outerplanarity",
+            PathOuterplanarityProtocol(c=2),
+            PLSPathOuterplanarityProtocol(),
+            path_op_instance,
+        ),
+        (
+            "LR-sorting",
+            LRSortingProtocol(c=2),
+            TrivialLRSortingProtocol(),
+            lr_instance,
+        ),
+        (
+            "planarity",
+            PlanarityProtocol(c=2),
+            PLSPlanarityProtocol(),
+            planarity_instance,
+        ),
+    ],
+    ids=["path-outerplanarity", "lr-sorting", "planarity"],
+)
+def test_dip_vs_baseline(benchmark, task, dip, pls, factory):
+    dip_sizes = _sweep(dip, factory)
+    pls_sizes = _sweep(pls, factory)
+    rows = [
+        (n, f"{d}b", f"{p}b") for n, d, p in zip(NS, dip_sizes, pls_sizes)
+    ]
+    print_table(
+        f"E3 {task}: 5-round DIP vs 1-round baseline",
+        ("n", "DIP (O(loglog n))", "baseline (Theta(log n))"),
+        rows,
+    )
+    dip_fit = fit_against_log(NS, dip_sizes)
+    pls_fit = fit_against_log(NS, pls_sizes)
+    print(f"DIP      slope vs log2(n): {dip_fit}")
+    print(f"baseline slope vs log2(n): {pls_fit}")
+    dip_x = extrapolation_test(NS, dip_sizes)
+    pls_x = extrapolation_test(NS, pls_sizes)
+    print(
+        f"DIP      tail prediction: actual {dip_x['actual']}b, "
+        f"log-law {dip_x['log_pred']:.0f}b, loglog-law {dip_x['loglog_pred']:.0f}b"
+    )
+    print(
+        f"baseline tail prediction: actual {pls_x['actual']}b, "
+        f"log-law {pls_x['log_pred']:.0f}b, loglog-law {pls_x['loglog_pred']:.0f}b"
+    )
+    # shape claims (see EXPERIMENTS.md: absolute constants favor the
+    # baseline at laptop scale; the *curvature* carries the asymptotics):
+    # the baseline is exactly linear in log2 n ...
+    assert pls_fit.slope >= 1.0 and pls_fit.r2 > 0.99
+    assert pls_x["log_err"] <= pls_x["loglog_err"]
+    # ... while the DIP's growth is predicted by the loglog law and badly
+    # over-predicted by the best log-law fit
+    assert dip_x["loglog_err"] <= dip_x["log_err"] + 2
+    rng = random.Random(1)
+    inst = factory(256, rng)
+    benchmark(lambda: dip.execute(inst, rng=random.Random(0)))

@@ -1,0 +1,63 @@
+"""Shared factories for the benchmark/experiment harness."""
+
+import random
+
+from repro.core.network import norm_edge
+from repro.graphs.generators import (
+    random_outerplanar,
+    random_path_outerplanar,
+    random_planar,
+    random_planar_embedding_instance,
+    random_series_parallel,
+    random_treewidth2,
+)
+from repro.protocols.instances import (
+    LRSortingInstance,
+    OuterplanarInstance,
+    PathOuterplanarInstance,
+    PlanarEmbeddingInstance,
+    PlanarityInstance,
+    SeriesParallelInstance,
+    Treewidth2Instance,
+)
+
+
+def lr_instance(n, rng, flip_edges=0, density=0.5):
+    g, path = random_path_outerplanar(n, rng, density=density)
+    pos = {v: i for i, v in enumerate(path)}
+    path_edges = {norm_edge(path[i], path[i + 1]) for i in range(n - 1)}
+    orientation = {}
+    non_path = [e for e in g.edges() if e not in path_edges]
+    rng.shuffle(non_path)
+    for k, (u, v) in enumerate(non_path):
+        t, h = (u, v) if pos[u] < pos[v] else (v, u)
+        if k < flip_edges:
+            t, h = h, t
+        orientation[norm_edge(u, v)] = (t, h)
+    return LRSortingInstance(g, path, orientation)
+
+
+def path_op_instance(n, rng):
+    g, path = random_path_outerplanar(n, rng, density=0.5)
+    return PathOuterplanarInstance(g, witness_path=path)
+
+
+def outerplanar_instance(n, rng):
+    return OuterplanarInstance(random_outerplanar(n, rng))
+
+
+def embedding_instance(n, rng):
+    g, rot = random_planar_embedding_instance(max(4, n), rng)
+    return PlanarEmbeddingInstance(g, rot)
+
+
+def planarity_instance(n, rng):
+    return PlanarityInstance(random_planar(max(4, n), rng))
+
+
+def sp_instance(n, rng):
+    return SeriesParallelInstance(random_series_parallel(n, rng))
+
+
+def tw2_instance(n, rng):
+    return Treewidth2Instance(random_treewidth2(max(3, n), rng))

@@ -1,0 +1,68 @@
+"""The headline plot, live: O(log log n) vs Theta(log n).
+
+Sweeps n for the Theorem-1.2 protocol and the one-round proof labeling
+scheme it replaces, prints the size table, the growth-law fits, and the
+tail-extrapolation discriminator (the log-law badly over-predicts the
+DIP's tail; the loglog-law nails it -- and vice versa for the baseline).
+
+    python examples/proof_size_scaling.py
+"""
+
+import random
+
+from repro import PathOuterplanarInstance, PathOuterplanarityProtocol
+from repro.analysis.metrics import (
+    extrapolation_test,
+    fit_against_log,
+    fit_against_loglog,
+)
+from repro.graphs.generators import random_path_outerplanar
+from repro.protocols.baselines import PLSPathOuterplanarityProtocol
+
+NS = (64, 256, 1024, 4096)
+
+
+def sweep(protocol, seed):
+    rng = random.Random(seed)
+    sizes = []
+    for n in NS:
+        g, path = random_path_outerplanar(n, rng, density=0.4)
+        inst = PathOuterplanarInstance(g, witness_path=path)
+        res = protocol.execute(inst, rng=random.Random(n))
+        assert res.accepted
+        sizes.append(res.proof_size_bits)
+    return sizes
+
+
+def main():
+    dip = sweep(PathOuterplanarityProtocol(c=2), seed=1)
+    pls = sweep(PLSPathOuterplanarityProtocol(), seed=1)
+
+    print(f"{'n':>6} | {'5-round DIP':>12} | {'1-round PLS':>12}")
+    for n, d, p in zip(NS, dip, pls):
+        print(f"{n:>6} | {d:>11}b | {p:>11}b")
+
+    print("\ngrowth-law fits:")
+    print(f"  DIP vs log2(n):        {fit_against_log(NS, dip)}")
+    print(f"  DIP vs log2(log2(n)):  {fit_against_loglog(NS, dip)}")
+    print(f"  PLS vs log2(n):        {fit_against_log(NS, pls)}")
+
+    print("\ntail extrapolation (fit on first 3 points, predict the 4th):")
+    for name, sizes in (("DIP", dip), ("PLS", pls)):
+        x = extrapolation_test(NS, sizes)
+        print(
+            f"  {name}: actual {x['actual']}b | log-law predicts "
+            f"{x['log_pred']:.0f}b (err {x['log_err']:.0f}) | loglog-law "
+            f"predicts {x['loglog_pred']:.0f}b (err {x['loglog_err']:.0f})"
+        )
+
+    print(
+        "\nreading: the baseline marches up 3 bits per doubling of n "
+        "forever;\nthe DIP's curve flattens -- its tail is predicted by "
+        "the loglog law,\nwhile a log-law fit of its own early points "
+        "overshoots it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package (offline installs).
+
+`pip install -e . --no-build-isolation` works where PEP 660 editable builds
+are available; this shim additionally supports `python setup.py develop`.
+"""
+from setuptools import setup
+
+setup()

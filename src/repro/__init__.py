@@ -1,0 +1,66 @@
+"""repro: distributed interactive proofs for planarity and relatives.
+
+A full reproduction of Gil & Parter, "New Distributed Interactive Proofs
+for Planarity: A Matter of Left and Right" (PODC 2025): the 5-round
+O(log log n) protocols for LR-sorting, path-outerplanarity,
+outerplanarity, planar embedding, planarity, series-parallel graphs and
+treewidth <= 2; the Theta(log n) one-round baselines they beat; and the
+executable cut-and-paste engine behind the Omega(log n) one-round lower
+bound.
+
+Quickstart::
+
+    import random
+    from repro import PathOuterplanarityProtocol, PathOuterplanarInstance
+    from repro.graphs.generators import random_path_outerplanar
+
+    g, path = random_path_outerplanar(256, random.Random(0))
+    result = PathOuterplanarityProtocol().execute(
+        PathOuterplanarInstance(g, witness_path=path))
+    assert result.accepted and result.n_rounds == 5
+    print(result.proof_size_bits, "bits")
+"""
+
+from .core import (
+    BitString,
+    Graph,
+    Label,
+    NodeView,
+    RunResult,
+    Transcript,
+)
+from .protocols import (
+    CompositeRunResult,
+    LRSortingInstance,
+    LRSortingProtocol,
+    OuterplanarInstance,
+    OuterplanarityProtocol,
+    PathOuterplanarInstance,
+    PathOuterplanarityProtocol,
+    PlanarEmbeddingInstance,
+    PlanarEmbeddingProtocol,
+    PlanarityInstance,
+    PlanarityProtocol,
+    SeriesParallelInstance,
+    SeriesParallelProtocol,
+    SpanningSubgraphInstance,
+    SpanningTreeVerificationProtocol,
+    Treewidth2Instance,
+    Treewidth2Protocol,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitString", "Graph", "Label", "NodeView", "RunResult", "Transcript",
+    "CompositeRunResult",
+    "LRSortingInstance", "LRSortingProtocol",
+    "OuterplanarInstance", "OuterplanarityProtocol",
+    "PathOuterplanarInstance", "PathOuterplanarityProtocol",
+    "PlanarEmbeddingInstance", "PlanarEmbeddingProtocol",
+    "PlanarityInstance", "PlanarityProtocol",
+    "SeriesParallelInstance", "SeriesParallelProtocol",
+    "SpanningSubgraphInstance", "SpanningTreeVerificationProtocol",
+    "Treewidth2Instance", "Treewidth2Protocol",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Cheating provers for the soundness experiments (E4, E8)."""
+
+from .lr_adversaries import (
+    IndexLiarProver,
+    StealthIndexLiarProver,
+    InnerBlockLiarProver,
+    SwappedBlocksProver,
+)
+from .clustering import (
+    ClusteringScheme,
+    adversarial_clique_partition,
+    clustering_attack_accepts,
+    k5_with_padding,
+)
+from .fuzzing import FuzzingLRProver
+from .path_adversaries import ForcedWitnessProver
+
+__all__ = [
+    "IndexLiarProver",
+    "StealthIndexLiarProver",
+    "InnerBlockLiarProver",
+    "SwappedBlocksProver",
+    "ClusteringScheme",
+    "adversarial_clique_partition",
+    "k5_with_padding",
+    "clustering_attack_accepts",
+    "ForcedWitnessProver",
+    "FuzzingLRProver",
+]

@@ -1,0 +1,130 @@
+"""The Section-3 clustering attack.
+
+The paper opens by showing why the "natural" clustering approach to
+sub-logarithmic planarity certification is doomed: partition the graph
+into polylog-size clusters, certify each cluster planar, certify the
+contracted cluster graph planar -- and a spread-out K5 subdivision slips
+through every cluster.  This module implements that strawman scheme and
+the attack, reproduced as ablation experiment E8.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..core.network import Graph
+from ..graphs.planarity import is_planar
+
+
+class ClusteringScheme:
+    """The strawman: cluster-local planarity + contracted-graph planarity.
+
+    The *prover* supplies the partition (that is the point: a cheating
+    prover picks the partition).  ``accepts`` returns the verifier's
+    verdict given a partition; :func:`best_partition` is the cheating
+    prover that spreads forbidden minors across clusters.
+    """
+
+    def __init__(self, cluster_size: int):
+        self.cluster_size = cluster_size
+
+    def accepts(self, graph: Graph, partition: List[List[int]]) -> bool:
+        seen = [v for cluster in partition for v in cluster]
+        if sorted(seen) != list(graph.nodes()):
+            return False
+        cluster_of: Dict[int, int] = {}
+        for ci, cluster in enumerate(partition):
+            if len(cluster) > self.cluster_size:
+                return False
+            for v in cluster:
+                cluster_of[v] = ci
+        # (1) each cluster's induced subgraph is planar
+        for cluster in partition:
+            sub, _ = graph.subgraph(cluster)
+            if not is_planar(sub):
+                return False
+        # (2) the contracted graph is planar
+        contracted = Graph(len(partition))
+        for u, v in graph.edges():
+            cu, cv = cluster_of[u], cluster_of[v]
+            if cu != cv:
+                contracted.add_edge(cu, cv)
+        return is_planar(contracted)
+
+
+def best_partition(
+    graph: Graph, cluster_size: int, rng: random.Random
+) -> List[List[int]]:
+    """The cheating prover: BFS-carve connected clusters of bounded size.
+
+    For a subdivided-K5 instance whose branch paths are longer than the
+    cluster size, *any* such partition separates the branch nodes, so even
+    this naive carving wins.
+    """
+    remaining = set(graph.nodes())
+    partition: List[List[int]] = []
+    while remaining:
+        start = min(remaining)
+        cluster = [start]
+        remaining.discard(start)
+        frontier = [start]
+        while frontier and len(cluster) < cluster_size:
+            v = frontier.pop()
+            for u in graph.neighbors(v):
+                if u in remaining and len(cluster) < cluster_size:
+                    remaining.discard(u)
+                    cluster.append(u)
+                    frontier.append(u)
+        partition.append(cluster)
+    return partition
+
+
+def clustering_attack_accepts(
+    graph: Graph, cluster_size: int, rng: Optional[random.Random] = None
+) -> bool:
+    """Does the strawman scheme accept this (presumably non-planar) graph?"""
+    rng = rng or random.Random(0)
+    scheme = ClusteringScheme(cluster_size)
+    return scheme.accepts(graph, best_partition(graph, cluster_size, rng))
+
+
+def k5_with_padding(n: int, rng: random.Random) -> Graph:
+    """The paper's Section-3 attack instance: an intact K5 (nodes 0..4)
+    plus a planar tree padding -- non-planar overall."""
+    if n < 6:
+        raise ValueError("need n >= 6")
+    g = Graph(n, [(i, j) for i in range(5) for j in range(i + 1, 5)])
+    for v in range(5, n):
+        g.add_edge(v, rng.randrange(v))
+    return g
+
+
+def adversarial_clique_partition(
+    graph: Graph, clique_nodes, cluster_size: int, rng: random.Random
+) -> List[List[int]]:
+    """The cheating partition of Section 3: split the 5-clique 2 + 3.
+
+    Cluster A holds two clique nodes (adjacent, hence connected); cluster B
+    the other three (a triangle); the rest is BFS-carved.  Each cluster
+    then induces a planar subgraph and the clique contracts to one edge.
+    """
+    k = list(clique_nodes)
+    if len(k) != 5 or cluster_size < 3:
+        raise ValueError("expects a 5-clique and cluster_size >= 3")
+    partition = [[k[0], k[1]], [k[2], k[3], k[4]]]
+    remaining = set(graph.nodes()) - set(k)
+    while remaining:
+        start = min(remaining)
+        cluster = [start]
+        remaining.discard(start)
+        frontier = [start]
+        while frontier and len(cluster) < cluster_size:
+            v = frontier.pop()
+            for u in graph.neighbors(v):
+                if u in remaining and len(cluster) < cluster_size:
+                    remaining.discard(u)
+                    cluster.append(u)
+                    frontier.append(u)
+        partition.append(cluster)
+    return partition

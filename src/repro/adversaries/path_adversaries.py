@@ -1,0 +1,25 @@
+"""Adversarial provers against path-outerplanarity (Theorem 1.2)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..protocols.path_outerplanarity import HonestPathOuterplanarityProver
+
+
+class ForcedWitnessProver(HonestPathOuterplanarityProver):
+    """Commits a prescribed Hamiltonian path even if the nesting is broken.
+
+    On a crossing-chord no-instance the graph still has the original
+    Hamiltonian path; the honest fallback would commit a tree and lose
+    immediately, so this prover commits the real path and runs the honest
+    machinery over the non-nested structure -- the strongest
+    "honest-but-wrong" strategy, caught by the nesting verification.
+    """
+
+    def __init__(self, instance, forced_path: List[int]):
+        super().__init__(instance)
+        self.forced_path = forced_path
+
+    def claimed_path(self) -> Optional[List[int]]:
+        return list(self.forced_path)

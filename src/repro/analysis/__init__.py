@@ -1,0 +1,12 @@
+"""Measurement: growth fits, acceptance statistics, experiment drivers."""
+
+from .experiments import completeness_sweep, print_table, size_sweep, soundness_sweep
+from .metrics import (
+    LinearFit,
+    acceptance_stats,
+    fit_against_log,
+    fit_against_loglog,
+    linear_fit,
+    loglog_growth_verdict,
+    wilson_interval,
+)

@@ -1,0 +1,92 @@
+"""Reusable experiment drivers behind the benchmark harness.
+
+Each driver matches one experiment of DESIGN.md's per-experiment index and
+returns plain dicts so the benchmarks can both assert the claimed shape and
+print the paper-vs-measured rows for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from .metrics import acceptance_stats, loglog_growth_verdict
+
+
+def size_sweep(
+    protocol,
+    instance_factory: Callable[[int, random.Random], object],
+    ns: Sequence[int],
+    seed: int = 0,
+    repeats: int = 3,
+) -> Dict:
+    """Max measured proof size per n; fits for the growth verdict (E1)."""
+    rng = random.Random(seed)
+    sizes: List[int] = []
+    rounds: List[int] = []
+    for n in ns:
+        worst = 0
+        worst_rounds = 0
+        for _ in range(repeats):
+            instance = instance_factory(n, rng)
+            result = protocol.execute(
+                instance, rng=random.Random(rng.getrandbits(64))
+            )
+            if not result.accepted:
+                raise AssertionError(
+                    f"{protocol.name}: honest run rejected at n={n}"
+                )
+            worst = max(worst, result.proof_size_bits)
+            worst_rounds = max(worst_rounds, result.n_rounds)
+        sizes.append(worst)
+        rounds.append(worst_rounds)
+    out = {"ns": list(ns), "sizes": sizes, "rounds": rounds}
+    if len(ns) >= 2:
+        out.update(loglog_growth_verdict(list(ns), sizes))
+    return out
+
+
+def completeness_sweep(
+    protocol,
+    instance_factory: Callable[[int, random.Random], object],
+    n: int,
+    trials: int = 20,
+    seed: int = 0,
+) -> Dict:
+    """Honest-prover acceptance rate on yes-instances (must be 1.0)."""
+    rng = random.Random(seed)
+    results = []
+    for _ in range(trials):
+        instance = instance_factory(n, rng)
+        run = protocol.execute(instance, rng=random.Random(rng.getrandbits(64)))
+        results.append(run.accepted)
+    return acceptance_stats(results)
+
+
+def soundness_sweep(
+    protocol,
+    no_instance_factory: Callable[[int, random.Random], object],
+    n: int,
+    trials: int = 20,
+    seed: int = 0,
+    prover_factory: Optional[Callable[[object], object]] = None,
+) -> Dict:
+    """Rejection rate on no-instances (optionally with a given adversary)."""
+    rng = random.Random(seed)
+    rejections = []
+    for _ in range(trials):
+        instance = no_instance_factory(n, rng)
+        prover = prover_factory(instance) if prover_factory else None
+        run = protocol.execute(
+            instance, prover=prover, rng=random.Random(rng.getrandbits(64))
+        )
+        rejections.append(not run.accepted)
+    return acceptance_stats(rejections)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Plain-text experiment table (captured into bench output)."""
+    print(f"\n== {title} ==")
+    print(" | ".join(str(h) for h in headers))
+    for row in rows:
+        print(" | ".join(str(c) for c in row))

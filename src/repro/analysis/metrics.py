@@ -1,0 +1,118 @@
+"""Measurement helpers: growth-rate fits and acceptance statistics.
+
+The headline reproduction claim is about *growth rates*: the paper's
+protocols' proof sizes grow like log log n while one-round schemes grow
+like log n.  Absolute constants are implementation artifacts (our field
+widths, repetition counts), so EXPERIMENTS.md reports fitted slopes
+against log2(n) and log2(log2(n)) plus correlation quality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+
+@dataclass
+class LinearFit:
+    slope: float
+    intercept: float
+    r2: float
+
+    def __repr__(self) -> str:
+        return f"y = {self.slope:.2f} x + {self.intercept:.2f}  (R^2 = {self.r2:.3f})"
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Ordinary least squares with R^2 (no numpy needed)."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two points")
+    n = len(xs)
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    sxx = sum((x - mx) ** 2 for x in xs)
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    if sxx == 0:
+        raise ValueError("degenerate x values")
+    slope = sxy / sxx
+    intercept = my - slope * mx
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - my) ** 2 for y in ys)
+    r2 = 1.0 if ss_tot == 0 else 1 - ss_res / ss_tot
+    return LinearFit(slope, intercept, r2)
+
+
+def fit_against_log(ns: Sequence[int], sizes: Sequence[int]) -> LinearFit:
+    """Fit size = a * log2(n) + b."""
+    return linear_fit([math.log2(n) for n in ns], list(sizes))
+
+
+def fit_against_loglog(ns: Sequence[int], sizes: Sequence[int]) -> LinearFit:
+    """Fit size = a * log2(log2(n)) + b."""
+    return linear_fit([math.log2(math.log2(n)) for n in ns], list(sizes))
+
+
+def loglog_growth_verdict(ns: Sequence[int], sizes: Sequence[int]) -> dict:
+    """Both fits plus the doubling ratio: for O(log log n) data, doubling n
+    should barely move the size; for Theta(log n) it adds a constant."""
+    per_doubling = []
+    for (n1, s1), (n2, s2) in zip(zip(ns, sizes), zip(ns[1:], sizes[1:])):
+        doublings = math.log2(n2 / n1)
+        if doublings > 0:
+            per_doubling.append((s2 - s1) / doublings)
+    return {
+        "log_fit": fit_against_log(ns, sizes),
+        "loglog_fit": fit_against_loglog(ns, sizes),
+        "bits_per_doubling": per_doubling,
+    }
+
+
+def extrapolation_test(ns: Sequence[int], sizes: Sequence[int]) -> dict:
+    """Which growth law predicts the tail better?
+
+    Fit ``a * log2(n) + b`` and ``a * log2(log2(n)) + b`` on all but the
+    last point and compare their absolute prediction errors at the last
+    point.  O(log log n) data has ``loglog_err < log_err`` (the log line
+    badly overshoots); Theta(log n) data the other way around.  This is
+    the honest laptop-scale discriminator: at reachable n, c * loglog n
+    with a large c can out-slope log n, but it cannot out-*curve* it.
+    """
+    if len(ns) < 3:
+        raise ValueError("need at least three points")
+    head_n, head_s = list(ns[:-1]), list(sizes[:-1])
+    tail_n, tail_s = ns[-1], sizes[-1]
+    log_fit = fit_against_log(head_n, head_s)
+    loglog_fit = fit_against_loglog(head_n, head_s)
+    log_pred = log_fit.slope * math.log2(tail_n) + log_fit.intercept
+    loglog_pred = (
+        loglog_fit.slope * math.log2(math.log2(tail_n)) + loglog_fit.intercept
+    )
+    return {
+        "log_err": abs(tail_s - log_pred),
+        "loglog_err": abs(tail_s - loglog_pred),
+        "log_pred": log_pred,
+        "loglog_pred": loglog_pred,
+        "actual": tail_s,
+    }
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials == 0:
+        return (0.0, 1.0)
+    p = successes / trials
+    denom = 1 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    margin = z * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials)) / denom
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+def acceptance_stats(results: Sequence[bool]) -> dict:
+    wins = sum(results)
+    lo, hi = wilson_interval(wins, len(results))
+    return {
+        "rate": wins / len(results) if results else float("nan"),
+        "trials": len(results),
+        "wilson_95": (lo, hi),
+    }

@@ -1,0 +1,222 @@
+"""Command-line interface: run any protocol on a generated or supplied graph.
+
+    python -m repro run path-outerplanarity --n 256 --seed 7
+    python -m repro run planarity --n 200 --no-instance
+    python -m repro sweep outerplanarity --ns 64,256,1024
+    python -m repro attack --n 1024 --bits 6
+    python -m repro run planarity --edges graph.txt   # one "u v" pair per line
+
+Exit status is 0 when the verdict matches the instance (accepted
+yes-instance / rejected no-instance), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Optional
+
+from .analysis.experiments import size_sweep
+from .core.network import Graph
+from .graphs.generators import (
+    random_nonplanar,
+    random_outerplanar,
+    random_path_outerplanar,
+    random_planar,
+    random_planar_embedding_instance,
+    random_planar_not_outerplanar,
+    random_not_treewidth2,
+    random_series_parallel,
+    random_treewidth2,
+)
+from .protocols.instances import (
+    OuterplanarInstance,
+    PathOuterplanarInstance,
+    PlanarEmbeddingInstance,
+    PlanarityInstance,
+    SeriesParallelInstance,
+    Treewidth2Instance,
+)
+from .protocols.outerplanarity import OuterplanarityProtocol
+from .protocols.path_outerplanarity import PathOuterplanarityProtocol
+from .protocols.planar_embedding import PlanarEmbeddingProtocol
+from .protocols.planarity import PlanarityProtocol
+from .protocols.series_parallel import SeriesParallelProtocol
+from .protocols.treewidth2 import Treewidth2Protocol
+
+
+def _tasks():
+    return {
+        "path-outerplanarity": (
+            PathOuterplanarityProtocol,
+            lambda n, rng: (lambda gp: PathOuterplanarInstance(gp[0], witness_path=gp[1]))(
+                random_path_outerplanar(n, rng)
+            ),
+            lambda n, rng: PathOuterplanarInstance(random_nonplanar(n, rng)),
+            PathOuterplanarInstance,
+        ),
+        "outerplanarity": (
+            OuterplanarityProtocol,
+            lambda n, rng: OuterplanarInstance(random_outerplanar(n, rng)),
+            lambda n, rng: OuterplanarInstance(random_planar_not_outerplanar(n, rng)),
+            OuterplanarInstance,
+        ),
+        "planar-embedding": (
+            PlanarEmbeddingProtocol,
+            lambda n, rng: PlanarEmbeddingInstance(
+                *random_planar_embedding_instance(n, rng)
+            ),
+            None,
+            None,
+        ),
+        "planarity": (
+            PlanarityProtocol,
+            lambda n, rng: PlanarityInstance(random_planar(n, rng)),
+            lambda n, rng: PlanarityInstance(random_nonplanar(n, rng)),
+            PlanarityInstance,
+        ),
+        "series-parallel": (
+            SeriesParallelProtocol,
+            lambda n, rng: SeriesParallelInstance(random_series_parallel(n, rng)),
+            lambda n, rng: SeriesParallelInstance(random_not_treewidth2(n, rng)),
+            SeriesParallelInstance,
+        ),
+        "treewidth-2": (
+            Treewidth2Protocol,
+            lambda n, rng: Treewidth2Instance(random_treewidth2(n, rng)),
+            lambda n, rng: Treewidth2Instance(random_not_treewidth2(n, rng)),
+            Treewidth2Instance,
+        ),
+    }
+
+
+def _load_graph(path: str) -> Graph:
+    edges = []
+    max_node = -1
+    with open(path) as f:
+        for line in f:
+            line = line.split("#")[0].strip()
+            if not line:
+                continue
+            u, v = (int(x) for x in line.split()[:2])
+            edges.append((u, v))
+            max_node = max(max_node, u, v)
+    return Graph(max_node + 1, edges)
+
+
+def cmd_run(args) -> int:
+    tasks = _tasks()
+    if args.task not in tasks:
+        print(f"unknown task {args.task}; choose from {sorted(tasks)}")
+        return 2
+    proto_cls, yes_factory, no_factory, instance_cls = tasks[args.task]
+    rng = random.Random(args.seed)
+    if args.edges:
+        if instance_cls is None:
+            print("this task needs a rotation system; use a generated instance")
+            return 2
+        instance = instance_cls(_load_graph(args.edges))
+        expect: Optional[bool] = None
+    elif args.no_instance:
+        if no_factory is None:
+            print("no built-in no-instance generator for this task")
+            return 2
+        instance = no_factory(args.n, rng)
+        expect = False
+    else:
+        instance = yes_factory(args.n, rng)
+        expect = True
+    protocol = proto_cls(c=args.c)
+    result = protocol.execute(instance, rng=random.Random(args.seed + 1))
+    print(f"task:        {args.task}")
+    print(f"nodes/edges: {instance.graph.n} / {instance.graph.m}")
+    print(f"verdict:     {'accept' if result.accepted else 'reject'}")
+    print(f"rounds:      {result.n_rounds}")
+    print(f"proof size:  {result.proof_size_bits} bits")
+    if not result.accepted:
+        shown = result.rejecting_nodes[:8]
+        print(f"rejecting:   {len(result.rejecting_nodes)} nodes, e.g. {shown}")
+    if expect is None:
+        return 0
+    return 0 if result.accepted == expect else 1
+
+
+def cmd_sweep(args) -> int:
+    tasks = _tasks()
+    proto_cls, yes_factory, _, _ = tasks[args.task]
+    ns = [int(x) for x in args.ns.split(",")]
+    data = size_sweep(
+        proto_cls(c=args.c),
+        lambda n, rng: yes_factory(n, rng),
+        ns,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    print(f"{'n':>8} | {'proof bits':>10} | rounds")
+    for n, s, r in zip(data["ns"], data["sizes"], data["rounds"]):
+        print(f"{n:>8} | {s:>10} | {r}")
+    if "log_fit" in data:
+        print(f"fit vs log2(n):       {data['log_fit']}")
+        print(f"fit vs log2(log2 n):  {data['loglog_fit']}")
+    return 0
+
+
+def cmd_attack(args) -> int:
+    from .lowerbound import CutAndPasteAttack, TruncatedPositionScheme
+    from .lowerbound.cut_and_paste import views_preserved
+
+    attack = CutAndPasteAttack(args.n)
+    result = attack.run(TruncatedPositionScheme(args.bits), random.Random(args.seed))
+    if result is None:
+        print(
+            f"no surgery found at {args.bits}-bit labels on C_{args.n} "
+            f"(need ~log2(n) = {args.n.bit_length() - 1} bits to resist)"
+        )
+        return 1
+    print(
+        f"surgery found on C_{args.n} with {args.bits}-bit labels: "
+        f"spliced at edges ({result.i}, {result.i + 1}) and "
+        f"({result.j}, {result.j + 1})"
+    )
+    print(f"views preserved: {views_preserved(result, args.n)}")
+    print(f"result is two disjoint cycles: {not result.graph.is_connected()}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed interactive proofs for planarity (Gil & Parter, PODC 2025)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one protocol on one instance")
+    p_run.add_argument("task")
+    p_run.add_argument("--n", type=int, default=256)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--c", type=int, default=2, help="soundness constant")
+    p_run.add_argument("--no-instance", action="store_true")
+    p_run.add_argument("--edges", help="edge-list file: one 'u v' per line")
+    p_run.set_defaults(func=cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="proof-size sweep over n")
+    p_sweep.add_argument("task")
+    p_sweep.add_argument("--ns", default="64,256,1024")
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--c", type=int, default=2)
+    p_sweep.add_argument("--repeats", type=int, default=2)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_attack = sub.add_parser("attack", help="Theorem 1.8 cut-and-paste attack")
+    p_attack.add_argument("--n", type=int, default=1024)
+    p_attack.add_argument("--bits", type=int, default=6)
+    p_attack.add_argument("--seed", type=int, default=0)
+    p_attack.set_defaults(func=cmd_attack)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

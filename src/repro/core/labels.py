@@ -1,0 +1,215 @@
+"""Bit-accurate prover labels.
+
+Every protocol in this library measures its *proof size* in bits, matching
+the paper's complexity measure ("the size of the longest label assigned by
+the honest prover during the protocol").  To keep that measurement honest,
+prover messages are never plain Python objects: they are :class:`Label`
+instances built from typed fields, each of which declares exactly how many
+bits it occupies on the wire.
+
+A label is an ordered collection of named fields.  Field names exist only
+for readability of the protocol code -- the layout of a protocol's labels is
+fixed in advance and known to all nodes, so names carry no information and
+do not count toward the size.
+
+Supported field kinds:
+
+- unsigned integers of a declared width,
+- single-bit flags,
+- raw bitstrings,
+- elements of a prime field ``F_p`` (width ``ceil(log2 p)``),
+- nested sub-labels (e.g. per-edge sub-labels riding on a node label),
+- the distinguished ``BOTTOM`` symbol used by the nesting verification
+  (one bit of presence marker).
+
+Absent labels cost zero bits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+FieldValue = Union[int, bool, "Label", "BitString", None]
+
+
+def uint_width(max_value: int) -> int:
+    """Number of bits needed to store integers in ``{0, ..., max_value}``."""
+    if max_value < 0:
+        raise ValueError("max_value must be non-negative")
+    return max(1, max_value.bit_length())
+
+
+class BitString:
+    """An immutable string of bits with explicit length.
+
+    Used for verifier coins and for random "names" in the nesting
+    verification of Section 5.
+    """
+
+    __slots__ = ("value", "width")
+
+    def __init__(self, value: int, width: int):
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if value < 0 or (width < value.bit_length()):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        self.value = value
+        self.width = width
+
+    @classmethod
+    def random(cls, rng, width: int) -> "BitString":
+        return cls(rng.getrandbits(width) if width else 0, width)
+
+    def bit_length(self) -> int:
+        return self.width
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, BitString)
+            and self.value == other.value
+            and self.width == other.width
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.width))
+
+    def __repr__(self) -> str:
+        if self.width == 0:
+            return "BitString(empty)"
+        return f"BitString({self.value:0{self.width}b})"
+
+
+class _Field:
+    __slots__ = ("kind", "value", "width")
+
+    def __init__(self, kind: str, value: FieldValue, width: int):
+        self.kind = kind
+        self.value = value
+        self.width = width
+
+
+class Label:
+    """An ordered, named collection of typed fields with exact bit size."""
+
+    __slots__ = ("_fields",)
+
+    def __init__(self):
+        self._fields: Dict[str, _Field] = {}
+
+    # -- builders ---------------------------------------------------------
+
+    def uint(self, name: str, value: int, width: int) -> "Label":
+        """Add an unsigned integer field of ``width`` bits."""
+        if value < 0 or value.bit_length() > width:
+            raise ValueError(f"{name}={value} does not fit in {width} bits")
+        self._put(name, _Field("uint", value, width))
+        return self
+
+    def flag(self, name: str, value: bool) -> "Label":
+        """Add a one-bit boolean field."""
+        self._put(name, _Field("flag", bool(value), 1))
+        return self
+
+    def bits(self, name: str, value: BitString) -> "Label":
+        """Add a raw bitstring field."""
+        self._put(name, _Field("bits", value, value.width))
+        return self
+
+    def field_elem(self, name: str, value: int, p: int) -> "Label":
+        """Add an element of the prime field F_p."""
+        if not 0 <= value < p:
+            raise ValueError(f"{name}={value} is not an element of F_{p}")
+        self._put(name, _Field("felem", value, uint_width(p - 1)))
+        return self
+
+    def sub(self, name: str, value: Optional["Label"]) -> "Label":
+        """Nest a sub-label (``None`` nests an empty, zero-bit sub-label)."""
+        sub = value if value is not None else Label()
+        self._put(name, _Field("label", sub, sub.bit_size()))
+        return self
+
+    def maybe(self, name: str, value: Optional[FieldValue], width: int) -> "Label":
+        """An optional value: 1 presence bit, plus ``width`` bits if present.
+
+        This models the paper's ``BOTTOM``-or-value fields (e.g. the name of
+        the virtual edge in Section 5).
+        """
+        if value is None:
+            self._put(name, _Field("maybe", None, 1))
+        else:
+            if isinstance(value, BitString):
+                if value.width != width:
+                    raise ValueError("bitstring width mismatch in maybe()")
+                self._put(name, _Field("maybe", value, 1 + width))
+            else:
+                if int(value) < 0 or int(value).bit_length() > width:
+                    raise ValueError(f"{name}={value} does not fit in {width} bits")
+                self._put(name, _Field("maybe", int(value), 1 + width))
+        return self
+
+    def _put(self, name: str, field: _Field) -> None:
+        if name in self._fields:
+            raise ValueError(f"duplicate label field {name!r}")
+        self._fields[name] = field
+
+    # -- readers ----------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._fields
+
+    def __getitem__(self, name: str) -> FieldValue:
+        try:
+            return self._fields[name].value
+        except KeyError:
+            raise KeyError(f"label has no field {name!r}") from None
+
+    def get(self, name: str, default: FieldValue = None) -> FieldValue:
+        field = self._fields.get(name)
+        return field.value if field is not None else default
+
+    def names(self) -> Iterator[str]:
+        return iter(self._fields)
+
+    # -- size -------------------------------------------------------------
+
+    def bit_size(self) -> int:
+        """Total bits this label occupies on the wire."""
+        return sum(f.width for f in self._fields.values())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Label):
+            return NotImplemented
+        if list(self._fields) != list(other._fields):
+            return False
+        return all(
+            self._fields[k].kind == other._fields[k].kind
+            and self._fields[k].value == other._fields[k].value
+            and self._fields[k].width == other._fields[k].width
+            for k in self._fields
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            tuple((k, f.kind, f.value, f.width) for k, f in self._fields.items())
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={f.value!r}" for k, f in self._fields.items())
+        return f"Label({inner} | {self.bit_size()}b)"
+
+
+EMPTY_LABEL = Label()
+
+
+def field_elem_width(p: int) -> int:
+    """Bits needed for an element of F_p."""
+    return uint_width(p - 1)
+
+
+def index_width(n: int) -> int:
+    """Bits needed for a block-internal index in ``[ceil(log2 n)]``.
+
+    This is the O(log log n) quantity that drives the paper's label sizes.
+    """
+    return uint_width(max(1, math.ceil(math.log2(max(2, n)))))

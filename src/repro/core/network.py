@@ -1,0 +1,210 @@
+"""Undirected communication graphs.
+
+The verifier in a distributed interactive proof consists of the ``n`` nodes
+of a communication graph ``G``.  This module provides the graph type used
+throughout the library: a simple, connected-by-convention, undirected graph
+on nodes ``0..n-1`` with adjacency sets.
+
+Node identifiers exist only at the simulation layer: verifier decision
+functions receive :class:`~repro.core.views.NodeView` objects and never see
+global ids, matching the anonymous-network model of Kol, Oshman and Saxena.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+Edge = Tuple[int, int]
+
+
+def norm_edge(u: int, v: int) -> Edge:
+    """Canonical (min, max) form of an undirected edge."""
+    return (u, v) if u <= v else (v, u)
+
+
+class Graph:
+    """A simple undirected graph on nodes ``0..n-1``."""
+
+    __slots__ = ("n", "_adj", "_m")
+
+    def __init__(self, n: int, edges: Iterable[Edge] = ()):
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self.n = n
+        self._adj: List[Set[int]] = [set() for _ in range(n)]
+        self._m = 0
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add_edge(self, u: int, v: int) -> None:
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise ValueError(f"self-loop at node {u}")
+        if v not in self._adj[u]:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._m += 1
+
+    def remove_edge(self, u: int, v: int) -> None:
+        if v not in self._adj[u]:
+            raise KeyError(f"edge ({u}, {v}) not in graph")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._m -= 1
+
+    def _check_node(self, v: int) -> None:
+        if not 0 <= v < self.n:
+            raise ValueError(f"node {v} out of range [0, {self.n})")
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return self._m
+
+    def nodes(self) -> range:
+        return range(self.n)
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Neighbors of ``v`` in sorted order (deterministic iteration)."""
+        return tuple(sorted(self._adj[v]))
+
+    def degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    def max_degree(self) -> int:
+        return max((len(a) for a in self._adj), default=0)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return 0 <= u < self.n and v in self._adj[u]
+
+    def edges(self) -> Iterator[Edge]:
+        """All edges in canonical (u < v) form, sorted."""
+        for u in range(self.n):
+            for v in sorted(self._adj[u]):
+                if u < v:
+                    yield (u, v)
+
+    def edge_set(self) -> FrozenSet[Edge]:
+        return frozenset(self.edges())
+
+    def copy(self) -> "Graph":
+        return Graph(self.n, self.edges())
+
+    # -- structure --------------------------------------------------------
+
+    def is_connected(self) -> bool:
+        if self.n == 0:
+            return True
+        return len(self._bfs_order(0)) == self.n
+
+    def connected_components(self) -> List[List[int]]:
+        seen: Set[int] = set()
+        components = []
+        for start in range(self.n):
+            if start in seen:
+                continue
+            comp = self._bfs_order(start)
+            seen.update(comp)
+            components.append(comp)
+        return components
+
+    def _bfs_order(self, start: int) -> List[int]:
+        seen = {start}
+        order = [start]
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in self._adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    order.append(v)
+                    queue.append(v)
+        return order
+
+    def bfs_tree(self, root: int) -> Dict[int, Optional[int]]:
+        """Parent map of a BFS tree rooted at ``root`` (root maps to None)."""
+        parent: Dict[int, Optional[int]] = {root: None}
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()
+            for v in sorted(self._adj[u]):
+                if v not in parent:
+                    parent[v] = u
+                    queue.append(v)
+        return parent
+
+    def subgraph(self, nodes: Iterable[int]) -> Tuple["Graph", Dict[int, int]]:
+        """Induced subgraph on ``nodes``.
+
+        Returns the subgraph (renumbered ``0..k-1``) and the map from
+        original node ids to subgraph ids.
+        """
+        node_list = sorted(set(nodes))
+        index = {v: i for i, v in enumerate(node_list)}
+        sub = Graph(len(node_list))
+        for v in node_list:
+            for u in self._adj[v]:
+                if u in index and v < u:
+                    sub.add_edge(index[v], index[u])
+        return sub, index
+
+    def relabeled(self, mapping: Dict[int, int], n: Optional[int] = None) -> "Graph":
+        """A copy with nodes renamed via ``mapping`` (must be injective)."""
+        if len(set(mapping.values())) != len(mapping):
+            raise ValueError("relabeling must be injective")
+        out = Graph(self.n if n is None else n)
+        for u, v in self.edges():
+            out.add_edge(mapping[u], mapping[v])
+        return out
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.n}, m={self._m})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self.n == other.n and self.edge_set() == other.edge_set()
+
+    def __hash__(self):
+        return hash((self.n, self.edge_set()))
+
+
+def path_graph(n: int) -> Graph:
+    """The path 0 - 1 - ... - n-1."""
+    return Graph(n, ((i, i + 1) for i in range(n - 1)))
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle 0 - 1 - ... - n-1 - 0."""
+    if n < 3:
+        raise ValueError("cycle needs at least 3 nodes")
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def complete_graph(n: int) -> Graph:
+    return Graph(n, ((i, j) for i in range(n) for j in range(i + 1, n)))
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """K_{a,b} with the first ``a`` nodes on one side."""
+    return Graph(a + b, ((i, a + j) for i in range(a) for j in range(b)))
+
+
+def graph_union(g: Graph, h: Graph, extra_edges: Iterable[Edge] = ()) -> Graph:
+    """Disjoint union of ``g`` and ``h`` (h's nodes shifted by g.n)."""
+    out = Graph(g.n + h.n)
+    for u, v in g.edges():
+        out.add_edge(u, v)
+    for u, v in h.edges():
+        out.add_edge(g.n + u, g.n + v)
+    for u, v in extra_edges:
+        out.add_edge(u, v)
+    return out

@@ -1,0 +1,169 @@
+"""Protocol harness: the referee for distributed interactive proofs.
+
+An execution alternates *verifier rounds* (every node draws public coins and
+sends them to the prover) and *prover rounds* (the prover assigns a label to
+every node).  The :class:`Interaction` referee enforces this alternation,
+records the transcript, and finally evaluates the per-node local decision
+functions over :class:`~repro.core.views.NodeView` objects.
+
+Protocols in this library run several logical *stages* in parallel inside
+the same interaction rounds (exactly as the paper does when counting to 5
+rounds); stage labels for a given round are merged into one node label as
+named sub-labels via :func:`merge_labels`.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, Iterable, Optional
+
+from .labels import BitString, Label
+from .network import Graph
+from .transcript import RunResult, Transcript
+from .views import NodeView, build_views
+
+
+class ProtocolError(Exception):
+    """Raised when the referee detects a malformed execution."""
+
+
+def merge_labels(parts: Dict[str, Optional[Label]]) -> Label:
+    """Merge per-stage labels into a single round label (named sub-labels)."""
+    out = Label()
+    for name, part in parts.items():
+        out.sub(name, part)
+    return out
+
+
+class Interaction:
+    """Referee for one protocol execution on one graph."""
+
+    def __init__(self, graph: Graph, rng: Optional[random.Random] = None):
+        self.graph = graph
+        self.rng = rng if rng is not None else random.Random()
+        self.transcript = Transcript()
+        self._last_kind: Optional[str] = None
+
+    # -- rounds -----------------------------------------------------------
+
+    def verifier_round(self, widths: Dict[int, int]) -> Dict[int, BitString]:
+        """Every node draws public coins; nodes missing from ``widths`` draw none.
+
+        Returns the coins, which are by definition also visible to the
+        prover (public-coin protocols: the verifier cannot hide random bits).
+        """
+        if self._last_kind == "verifier":
+            raise ProtocolError("two consecutive verifier rounds")
+        coins = {
+            v: BitString.random(self.rng, w)
+            for v, w in widths.items()
+            if w >= 0
+        }
+        self.transcript.add_verifier_round(coins)
+        self._last_kind = "verifier"
+        return coins
+
+    def prover_round(
+        self,
+        labels: Dict[int, Label],
+        edge_labels: Optional[Dict] = None,
+    ) -> Dict[int, Label]:
+        """The prover assigns labels to nodes (and optionally to edges)."""
+        if self._last_kind == "prover":
+            raise ProtocolError("two consecutive prover rounds")
+        for v, label in labels.items():
+            if not 0 <= v < self.graph.n:
+                raise ProtocolError(f"label assigned to non-node {v}")
+            if not isinstance(label, Label):
+                raise ProtocolError(f"prover sent a non-Label to node {v}")
+        canonical = {}
+        for (u, v), label in (edge_labels or {}).items():
+            if not self.graph.has_edge(u, v):
+                raise ProtocolError(f"edge label on non-edge ({u}, {v})")
+            if not isinstance(label, Label):
+                raise ProtocolError(f"prover sent a non-Label to edge ({u}, {v})")
+            canonical[(u, v) if u <= v else (v, u)] = label
+        self.transcript.add_prover_round(dict(labels), canonical)
+        self._last_kind = "prover"
+        return labels
+
+    # -- decision ---------------------------------------------------------
+
+    def decide(
+        self,
+        check: Callable[[NodeView], bool],
+        inputs: Optional[Dict[int, Dict[str, Any]]] = None,
+        shared_inputs: Optional[Dict[int, Dict[str, Any]]] = None,
+        protocol_name: str = "dip",
+        meta: Optional[dict] = None,
+    ) -> RunResult:
+        """Evaluate the local decision at every node and aggregate.
+
+        The verifier accepts iff *all* nodes output yes.
+        """
+        if not self.transcript.ends_with_prover():
+            raise ProtocolError("interaction must end with a prover round")
+        views = build_views(self.graph, self.transcript, inputs, shared_inputs)
+        rejecting = [v for v in self.graph.nodes() if not check(views[v])]
+        return RunResult(
+            accepted=not rejecting,
+            rejecting_nodes=rejecting,
+            transcript=self.transcript,
+            protocol_name=protocol_name,
+            meta=meta,
+        )
+
+
+class DIPProtocol(ABC):
+    """Base class for distributed interactive proofs.
+
+    Subclasses implement :meth:`execute`, which runs the full interaction
+    against a prover strategy (the honest prover if none is given) and
+    returns a :class:`RunResult`.
+    """
+
+    #: human-readable protocol name
+    name: str = "dip"
+    #: the number of interaction rounds the protocol is designed to use
+    designed_rounds: int = 0
+
+    @abstractmethod
+    def execute(
+        self,
+        instance,
+        prover=None,
+        rng: Optional[random.Random] = None,
+    ) -> RunResult:
+        """Run the protocol on ``instance``; honest prover when ``prover`` is None."""
+
+    @abstractmethod
+    def honest_prover(self, instance):
+        """The honest prover strategy for a yes-instance."""
+
+
+def acceptance_rate(
+    protocol: DIPProtocol,
+    instances: Iterable,
+    prover_factory: Optional[Callable[[Any], Any]] = None,
+    seed: int = 0,
+    trials_per_instance: int = 1,
+) -> float:
+    """Fraction of (instance, trial) runs that accept.
+
+    ``prover_factory`` builds a prover per instance (honest when omitted).
+    """
+    rng = random.Random(seed)
+    runs = 0
+    accepted = 0
+    for instance in instances:
+        prover = prover_factory(instance) if prover_factory else None
+        for _ in range(trials_per_instance):
+            result = protocol.execute(
+                instance, prover=prover, rng=random.Random(rng.getrandbits(64))
+            )
+            runs += 1
+            accepted += result.accepted
+    if runs == 0:
+        raise ValueError("no instances supplied")
+    return accepted / runs

@@ -1,0 +1,93 @@
+"""Local node views.
+
+The verifier's decision at a node is a function of exactly three things
+(Kol-Oshman-Saxena model, as restated in Section 1 of the paper):
+
+1. the random bitstrings the node drew during the protocol,
+2. the labels the prover assigned to the node,
+3. the labels the prover assigned to the node's neighbors.
+
+:class:`NodeView` packages precisely this information plus the node's local
+*input* (e.g. which incident edges belong to a given subgraph, or the local
+rotation ``rho_v`` in the planar-embedding task).  Decision functions take a
+``NodeView`` and nothing else, which keeps every protocol's decision
+honest-by-construction about locality.
+
+Neighbors are exposed through *ports* ``0..deg(v)-1`` (the node's local
+ordering of its incident edges); global node identifiers never appear in a
+view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from .labels import BitString, Label
+from .network import Graph
+from .transcript import Transcript
+
+
+@dataclass
+class NodeView:
+    """Everything one node may legally base its decision on."""
+
+    degree: int
+    #: node-local input (task-specific; empty for pure graph properties)
+    input: Dict[str, Any] = field(default_factory=dict)
+    #: ``coins[i]`` = this node's public coins in the i-th verifier round
+    coins: List[BitString] = field(default_factory=list)
+    #: ``own_labels[i]`` = label assigned to this node in the i-th prover round
+    own_labels: List[Label] = field(default_factory=list)
+    #: ``neighbor_labels[i][port]`` = label of the neighbor behind ``port``
+    neighbor_labels: List[List[Label]] = field(default_factory=list)
+    #: ``edge_labels[i][port]`` = label of the incident edge behind ``port``
+    #: in the i-th prover round (empty label if none was assigned)
+    edge_labels: List[List[Label]] = field(default_factory=list)
+    #: ``neighbor_inputs[port]`` = the *shared* part of a neighbor's input
+    #: (edge-local data both endpoints see, e.g. path-edge markers)
+    neighbor_inputs: List[Dict[str, Any]] = field(default_factory=list)
+
+    def own(self, round_index: int) -> Label:
+        return self.own_labels[round_index]
+
+    def neighbor(self, round_index: int, port: int) -> Label:
+        return self.neighbor_labels[round_index][port]
+
+    def ports(self) -> range:
+        return range(self.degree)
+
+
+def build_views(
+    graph: Graph,
+    transcript: Transcript,
+    inputs: Dict[int, Dict[str, Any]] = None,
+    shared_inputs: Dict[int, Dict[str, Any]] = None,
+) -> Dict[int, NodeView]:
+    """Assemble the per-node views of a finished execution.
+
+    ``inputs`` maps node -> local input dict.  ``shared_inputs`` maps
+    node -> the part of that node's input which its neighbors may also see
+    (edge-incident data such as port orientations).
+    """
+    inputs = inputs or {}
+    shared_inputs = shared_inputs or {}
+    prover_rounds = transcript.prover_rounds()
+    verifier_rounds = transcript.verifier_rounds()
+
+    views: Dict[int, NodeView] = {}
+    neighbor_lists: Dict[int, Tuple[int, ...]] = {
+        v: graph.neighbors(v) for v in graph.nodes()
+    }
+    for v in graph.nodes():
+        nbrs = neighbor_lists[v]
+        view = NodeView(degree=len(nbrs), input=dict(inputs.get(v, {})))
+        for rnd in verifier_rounds:
+            view.coins.append(rnd.coins.get(v, BitString(0, 0)))
+        for rnd in prover_rounds:
+            view.own_labels.append(rnd.label(v))
+            view.neighbor_labels.append([rnd.label(u) for u in nbrs])
+            view.edge_labels.append([rnd.edge_label(v, u) for u in nbrs])
+        view.neighbor_inputs = [dict(shared_inputs.get(u, {})) for u in nbrs]
+        views[v] = view
+    return views

@@ -1,0 +1,42 @@
+"""Graph-algorithm substrate: recognition, decompositions, generators."""
+
+from .biconnectivity import (
+    BlockCutTree,
+    articulation_points,
+    biconnected_components,
+    block_cut_tree,
+    component_nodes,
+    is_biconnected,
+)
+from .coloring import degeneracy, degeneracy_order, greedy_coloring, is_proper_coloring
+from .embedding import RotationSystem, embedding_is_planar, flip_rotation, swap_rotation
+from .outerplanar import (
+    brute_force_path_outerplanar,
+    find_path_outerplanar_witness,
+    hamiltonian_cycle_of_biconnected_outerplanar,
+    is_biconnected_outerplanar,
+    is_cycle_with_nested_chords,
+    is_outerplanar,
+    is_path_outerplanar,
+    is_path_outerplanar_with,
+    properly_nested,
+)
+from .kuratowski import KuratowskiWitness, find_kuratowski_subdivision
+from .planarity import LRPlanarity, find_planar_embedding, is_planar
+from .series_parallel import (
+    Ear,
+    is_nested_ear_decomposition,
+    is_series_parallel,
+    nested_ear_decomposition,
+    sp_composition_tree,
+)
+from .spanning import (
+    RootedForest,
+    arboricity_forest_partition,
+    bfs_spanning_tree,
+    euler_tour,
+    forest_partition_assignment,
+    hamiltonian_path_forest,
+    spanning_forest,
+)
+from .treewidth2 import is_treewidth_at_most_2, is_treewidth_at_most_2_by_reduction

@@ -1,0 +1,65 @@
+"""Proper colorings with O(1) colors for planar graphs.
+
+Lemma 2.3 has the prover color two contracted planar graphs with O(1)
+colors.  The paper uses the four-color theorem; any constant number of
+colors preserves the O(1)-bit labels, so we substitute the classic
+*degeneracy-greedy* coloring: planar graphs are 5-degenerate, hence greedy
+coloring along a reverse degeneracy order uses at most 6 colors
+(3 bits instead of 2 -- still O(1); see DESIGN.md, Substitutions).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List
+
+from ..core.network import Graph
+
+
+def degeneracy_order(graph: Graph) -> List[int]:
+    """Nodes in a smallest-last (degeneracy) elimination order."""
+    degree = {v: graph.degree(v) for v in graph.nodes()}
+    removed = set()
+    heap = [(d, v) for v, d in degree.items()]
+    heapq.heapify(heap)
+    order: List[int] = []
+    while heap:
+        d, v = heapq.heappop(heap)
+        if v in removed or d != degree[v]:
+            continue
+        removed.add(v)
+        order.append(v)
+        for u in graph.neighbors(v):
+            if u not in removed:
+                degree[u] -= 1
+                heapq.heappush(heap, (degree[u], u))
+    return order
+
+
+def degeneracy(graph: Graph) -> int:
+    """The graph's degeneracy (max over the elimination order of the
+    back-degree); planar graphs have degeneracy <= 5."""
+    order = degeneracy_order(graph)
+    position = {v: i for i, v in enumerate(order)}
+    worst = 0
+    for v in graph.nodes():
+        back = sum(1 for u in graph.neighbors(v) if position[u] > position[v])
+        worst = max(worst, back)
+    return worst
+
+
+def greedy_coloring(graph: Graph) -> Dict[int, int]:
+    """A proper coloring with at most degeneracy+1 colors (<= 6 if planar)."""
+    order = degeneracy_order(graph)
+    color: Dict[int, int] = {}
+    for v in reversed(order):
+        taken = {color[u] for u in graph.neighbors(v) if u in color}
+        c = 0
+        while c in taken:
+            c += 1
+        color[v] = c
+    return color
+
+
+def is_proper_coloring(graph: Graph, color: Dict[int, int]) -> bool:
+    return all(color[u] != color[v] for u, v in graph.edges())

@@ -1,0 +1,202 @@
+"""Combinatorial embeddings (rotation systems).
+
+A combinatorial embedding of a graph assigns to every node a cyclic
+*clockwise* ordering of its incident edges.  The planar-embedding task of
+Section 7 receives such an ordering distributed over the nodes (node ``v``
+holds a bijection ``rho_v : E(v) -> {0..deg(v)-1}``) and must verify that it
+corresponds to a planar (genus-0) drawing.
+
+The ground-truth validity criterion used throughout this library is Euler's
+formula: tracing the faces induced by the rotation system, an embedding of a
+connected graph is planar iff ``#faces = m - n + 2``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.network import Graph
+
+HalfEdge = Tuple[int, int]
+
+
+class RotationSystem:
+    """Clockwise rotations around every node, as circular linked lists.
+
+    Supports the insertion operations needed by the left-right embedding
+    phase (insert first / clockwise of a reference / counterclockwise of a
+    reference), plus face tracing.
+    """
+
+    def __init__(self, n: int):
+        self.n = n
+        #: ``cw[v][w]`` = neighbor immediately clockwise of ``w`` around ``v``
+        self.cw: List[Dict[int, int]] = [dict() for _ in range(n)]
+        self.ccw: List[Dict[int, int]] = [dict() for _ in range(n)]
+        #: the neighbor considered "first" in v's rotation
+        self.first: List[Optional[int]] = [None] * n
+
+    @classmethod
+    def from_orders(cls, n: int, orders: Dict[int, Iterable[int]]) -> "RotationSystem":
+        """Build from explicit clockwise neighbor orders."""
+        rs = cls(n)
+        for v, order in orders.items():
+            prev = None
+            for w in order:
+                if prev is None:
+                    rs.add_first_edge(v, w)
+                else:
+                    rs.add_cw(v, w, prev)
+                prev = w
+        return rs
+
+    # -- insertion --------------------------------------------------------
+
+    def add_first_edge(self, v: int, w: int) -> None:
+        """Insert ``w`` as the only neighbor so far of ``v``."""
+        if self.first[v] is not None:
+            raise ValueError(f"node {v} already has edges")
+        self.cw[v][w] = w
+        self.ccw[v][w] = w
+        self.first[v] = w
+
+    def add_cw(self, v: int, w: int, ref: int) -> None:
+        """Insert ``w`` immediately clockwise of ``ref`` around ``v``."""
+        if self.first[v] is None:
+            self.add_first_edge(v, w)
+            return
+        nxt = self.cw[v][ref]
+        self.cw[v][ref] = w
+        self.ccw[v][w] = ref
+        self.cw[v][w] = nxt
+        self.ccw[v][nxt] = w
+
+    def add_ccw(self, v: int, w: int, ref: int) -> None:
+        """Insert ``w`` immediately counterclockwise of ``ref`` around ``v``.
+
+        If ``ref`` was the first neighbor, ``w`` becomes first.
+        """
+        if self.first[v] is None:
+            self.add_first_edge(v, w)
+            return
+        prv = self.ccw[v][ref]
+        self.ccw[v][ref] = w
+        self.cw[v][w] = ref
+        self.ccw[v][w] = prv
+        self.cw[v][prv] = w
+        if self.first[v] == ref:
+            self.first[v] = w
+
+    def add_half_edge_first(self, v: int, w: int) -> None:
+        """Insert ``w`` at the first position of ``v``'s rotation."""
+        if self.first[v] is None:
+            self.add_first_edge(v, w)
+        else:
+            self.add_ccw(v, w, self.first[v])
+
+    # -- queries ----------------------------------------------------------
+
+    def rotation(self, v: int) -> List[int]:
+        """Clockwise neighbor order of ``v``, starting at its first neighbor."""
+        start = self.first[v]
+        if start is None:
+            return []
+        out = [start]
+        w = self.cw[v][start]
+        while w != start:
+            out.append(w)
+            w = self.cw[v][w]
+        return out
+
+    def degree(self, v: int) -> int:
+        return len(self.cw[v])
+
+    def rho(self, v: int) -> Dict[int, int]:
+        """The bijection ``rho_v`` of Section 7: neighbor -> clockwise index."""
+        return {w: i for i, w in enumerate(self.rotation(v))}
+
+    def next_face_half_edge(self, u: int, v: int) -> HalfEdge:
+        """Successor of half-edge ``(u, v)`` along its face boundary.
+
+        With clockwise rotations, the face to the *left* of ``u -> v`` is
+        traced by continuing to ``(v, w)`` with ``w`` the clockwise successor
+        of ``u`` around ``v``.
+        """
+        return (v, self.cw[v][u])
+
+    def trace_face(self, u: int, v: int) -> List[HalfEdge]:
+        """All half-edges on the face containing half-edge ``(u, v)``."""
+        face = [(u, v)]
+        nxt = self.next_face_half_edge(u, v)
+        while nxt != (u, v):
+            face.append(nxt)
+            nxt = self.next_face_half_edge(*nxt)
+        return face
+
+    def faces(self) -> List[List[HalfEdge]]:
+        """All faces induced by the rotation system."""
+        seen = set()
+        out = []
+        for v in range(self.n):
+            for w in self.cw[v]:
+                if (v, w) in seen:
+                    continue
+                face = self.trace_face(v, w)
+                seen.update(face)
+                out.append(face)
+        return out
+
+    def num_faces(self) -> int:
+        return len(self.faces())
+
+
+def embedding_is_planar(graph: Graph, rotations: RotationSystem) -> bool:
+    """Euler-formula validity check for a combinatorial embedding.
+
+    For each connected component with ``n_c`` nodes and ``m_c`` edges, the
+    rotation system is a planar (genus-0) embedding iff tracing its faces
+    yields exactly ``m_c - n_c + 2`` faces.  Isolated nodes are vacuously
+    fine.
+    """
+    for v in graph.nodes():
+        if set(rotations.cw[v]) != set(graph.neighbors(v)):
+            raise ValueError(f"rotation at node {v} does not match the graph")
+
+    components = graph.connected_components()
+    # assign each half-edge's face, then count faces per component
+    faces = rotations.faces()
+    face_component: List[int] = []
+    comp_of = {}
+    for ci, comp in enumerate(components):
+        for v in comp:
+            comp_of[v] = ci
+    comp_faces = [0] * len(components)
+    for face in faces:
+        comp_faces[comp_of[face[0][0]]] += 1
+    for ci, comp in enumerate(components):
+        n_c = len(comp)
+        m_c = sum(graph.degree(v) for v in comp) // 2
+        if m_c == 0:
+            continue
+        if comp_faces[ci] != m_c - n_c + 2:
+            return False
+    return True
+
+
+def flip_rotation(rotations: RotationSystem, v: int) -> RotationSystem:
+    """A copy of ``rotations`` with node ``v``'s rotation reversed.
+
+    Reversing one node's rotation in a 3-connected planar embedding breaks
+    planarity (useful for generating no-instances of the embedding task).
+    """
+    orders = {u: rotations.rotation(u) for u in range(rotations.n)}
+    orders[v] = list(reversed(orders[v]))
+    return RotationSystem.from_orders(rotations.n, {u: o for u, o in orders.items() if o})
+
+
+def swap_rotation(rotations: RotationSystem, v: int, i: int, j: int) -> RotationSystem:
+    """A copy with two positions of ``v``'s rotation transposed."""
+    orders = {u: rotations.rotation(u) for u in range(rotations.n)}
+    order = orders[v]
+    order[i], order[j] = order[j], order[i]
+    return RotationSystem.from_orders(rotations.n, {u: o for u, o in orders.items() if o})

@@ -1,0 +1,325 @@
+"""Left-right planarity testing with embedding extraction.
+
+A from-scratch implementation of the left-right planarity criterion of
+de Fraysseix and Rosenstiehl, following the exposition of Brandes,
+"The Left-Right Planarity Test" (the same pseudocode underlying the
+well-known networkx implementation).  Fittingly for this paper, the
+algorithm decides planarity by partitioning back edges into *left* and
+*right* classes around a DFS tree.
+
+Three phases:
+
+1. *Orientation* -- a DFS orients the graph, computing ``lowpt``,
+   ``lowpt2`` and a ``nesting_depth`` for every oriented edge.
+2. *Testing* -- a second DFS maintains a stack of conflict pairs of
+   intervals of back edges; the graph is planar iff the left/right
+   constraints stay satisfiable.
+3. *Embedding* -- signs are propagated through the ``ref`` pointers and the
+   adjacency lists are re-sorted by signed nesting depth, yielding a
+   planar rotation system (:class:`~repro.graphs.embedding.RotationSystem`).
+
+The resulting embedding is validated in the test suite via Euler's formula
+and cross-checked against networkx as an oracle.
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+from ..core.network import Graph
+from .embedding import RotationSystem
+
+OrientedEdge = Tuple[int, int]
+
+
+@contextmanager
+def _deep_recursion(depth: int):
+    old = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old, depth))
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(old)
+
+
+class _Interval:
+    """An interval of back edges, identified by its low and high edge."""
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: Optional[OrientedEdge] = None, high: Optional[OrientedEdge] = None):
+        self.low = low
+        self.high = high
+
+    def empty(self) -> bool:
+        return self.low is None and self.high is None
+
+    def copy(self) -> "_Interval":
+        return _Interval(self.low, self.high)
+
+    def conflicting(self, b: OrientedEdge, lr: "LRPlanarity") -> bool:
+        """True if this interval cannot share a side with back edge ``b``."""
+        return not self.empty() and lr.lowpt[self.high] > lr.lowpt[b]
+
+
+class _ConflictPair:
+    """A pair of intervals that must go to different sides."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Optional[_Interval] = None, right: Optional[_Interval] = None):
+        self.left = left if left is not None else _Interval()
+        self.right = right if right is not None else _Interval()
+
+    def swap(self) -> None:
+        self.left, self.right = self.right, self.left
+
+    def lowest(self, lr: "LRPlanarity") -> int:
+        if self.left.empty():
+            return lr.lowpt[self.right.low]
+        if self.right.empty():
+            return lr.lowpt[self.left.low]
+        return min(lr.lowpt[self.left.low], lr.lowpt[self.right.low])
+
+
+class LRPlanarity:
+    """One-shot planarity test + embedding for a :class:`Graph`."""
+
+    def __init__(self, graph: Graph):
+        self.G = graph
+        n = graph.n
+        self.roots: List[int] = []
+        self.height: List[Optional[int]] = [None] * n
+        self.parent_edge: List[Optional[OrientedEdge]] = [None] * n
+        self.adj: List[List[int]] = [[] for _ in range(n)]  # oriented out-neighbors
+        self.lowpt: Dict[OrientedEdge, int] = {}
+        self.lowpt2: Dict[OrientedEdge, int] = {}
+        self.nesting_depth: Dict[OrientedEdge, int] = {}
+        self.ordered_adjs: List[List[int]] = [[] for _ in range(n)]
+        self.ref: Dict[OrientedEdge, Optional[OrientedEdge]] = {}
+        self.side: Dict[OrientedEdge, int] = {}
+        self.S: List[_ConflictPair] = []
+        self.stack_bottom: Dict[OrientedEdge, Optional[_ConflictPair]] = {}
+        self.lowpt_edge: Dict[OrientedEdge, OrientedEdge] = {}
+        self.left_ref: Dict[int, int] = {}
+        self.right_ref: Dict[int, int] = {}
+        self.embedding: Optional[RotationSystem] = None
+
+    # -- public entry point -------------------------------------------------
+
+    def run(self) -> Optional[RotationSystem]:
+        """Return a planar rotation system, or None if G is non-planar."""
+        n, m = self.G.n, self.G.m
+        if n >= 3 and m > 3 * n - 6:
+            return None
+        with _deep_recursion(10_000 + 10 * n):
+            for v in self.G.nodes():
+                if self.height[v] is None:
+                    self.height[v] = 0
+                    self.roots.append(v)
+                    self._dfs_orientation(v)
+            for v in self.G.nodes():
+                self.ordered_adjs[v] = sorted(
+                    self.adj[v], key=lambda w: self.nesting_depth[(v, w)]
+                )
+            for root in self.roots:
+                if not self._dfs_testing(root):
+                    return None
+            self._build_embedding()
+        return self.embedding
+
+    # -- phase 1: orientation ------------------------------------------------
+
+    def _dfs_orientation(self, v: int) -> None:
+        e = self.parent_edge[v]
+        for w in self.G.neighbors(v):
+            if w in self.adj[v] or v in self.adj[w]:
+                continue  # edge already oriented
+            vw = (v, w)
+            self.adj[v].append(w)
+            self.lowpt[vw] = self.height[v]
+            self.lowpt2[vw] = self.height[v]
+            if self.height[w] is None:  # tree edge
+                self.parent_edge[w] = vw
+                self.height[w] = self.height[v] + 1
+                self._dfs_orientation(w)
+            else:  # back edge
+                self.lowpt[vw] = self.height[w]
+            # nesting depth: chordal edges nest deeper
+            self.nesting_depth[vw] = 2 * self.lowpt[vw]
+            if self.lowpt2[vw] < self.height[v]:
+                self.nesting_depth[vw] += 1
+            # propagate lowpoints to the parent edge
+            if e is not None:
+                if self.lowpt[vw] < self.lowpt[e]:
+                    self.lowpt2[e] = min(self.lowpt[e], self.lowpt2[vw])
+                    self.lowpt[e] = self.lowpt[vw]
+                elif self.lowpt[vw] > self.lowpt[e]:
+                    self.lowpt2[e] = min(self.lowpt2[e], self.lowpt[vw])
+                else:
+                    self.lowpt2[e] = min(self.lowpt2[e], self.lowpt2[vw])
+
+    # -- phase 2: testing ------------------------------------------------------
+
+    def _top_of_stack(self) -> Optional[_ConflictPair]:
+        return self.S[-1] if self.S else None
+
+    def _dfs_testing(self, v: int) -> bool:
+        e = self.parent_edge[v]
+        for w in self.ordered_adjs[v]:
+            ei = (v, w)
+            self.stack_bottom[ei] = self._top_of_stack()
+            if ei == self.parent_edge[w]:  # tree edge: recurse
+                if not self._dfs_testing(w):
+                    return False
+            else:  # back edge
+                self.lowpt_edge[ei] = ei
+                self.S.append(_ConflictPair(right=_Interval(ei, ei)))
+            if self.lowpt[ei] < self.height[v]:  # ei has a return edge
+                if w == self.ordered_adjs[v][0]:
+                    self.lowpt_edge[e] = self.lowpt_edge[ei]
+                elif not self._add_constraints(ei, e):
+                    return False
+        if e is not None:
+            u = e[0]
+            self._trim_back_edges(u)
+            # side of e is the side of its highest return edge
+            if self.lowpt[e] < self.height[u]:
+                top = self.S[-1]
+                hl, hr = top.left.high, top.right.high
+                if hl is not None and (hr is None or self.lowpt[hl] > self.lowpt[hr]):
+                    self.ref[e] = hl
+                else:
+                    self.ref[e] = hr
+        return True
+
+    def _add_constraints(self, ei: OrientedEdge, e: OrientedEdge) -> bool:
+        P = _ConflictPair()
+        # merge return edges of ei into P.right
+        while True:
+            Q = self.S.pop()
+            if not Q.left.empty():
+                Q.swap()
+            if not Q.left.empty():
+                return False  # not planar
+            if self.lowpt[Q.right.low] > self.lowpt[e]:
+                # merge intervals
+                if P.right.empty():  # topmost interval
+                    P.right = Q.right.copy()
+                else:
+                    self.ref[P.right.low] = Q.right.high
+                P.right.low = Q.right.low
+            else:  # align
+                self.ref[Q.right.low] = self.lowpt_edge[e]
+            if self._top_of_stack() is self.stack_bottom[ei]:
+                break
+        # merge conflicting return edges of e_1, ..., e_{i-1} into P.left
+        while self._top_of_stack() is not None and (
+            self.S[-1].left.conflicting(ei, self)
+            or self.S[-1].right.conflicting(ei, self)
+        ):
+            Q = self.S.pop()
+            if Q.right.conflicting(ei, self):
+                Q.swap()
+            if Q.right.conflicting(ei, self):
+                return False  # not planar
+            # merge interval below lowpt(ei) into P.right
+            self.ref[P.right.low] = Q.right.high
+            if Q.right.low is not None:
+                P.right.low = Q.right.low
+            if P.left.empty():  # topmost interval
+                P.left = Q.left.copy()
+            else:
+                self.ref[P.left.low] = Q.left.high
+            P.left.low = Q.left.low
+        if not (P.left.empty() and P.right.empty()):
+            self.S.append(P)
+        return True
+
+    def _trim_back_edges(self, u: int) -> None:
+        # drop entire conflict pairs that end at u
+        while self.S and self.S[-1].lowest(self) == self.height[u]:
+            P = self.S.pop()
+            if P.left.low is not None:
+                self.side[P.left.low] = -1
+        if self.S:  # one more conflict pair to consider
+            P = self.S.pop()
+            # trim left interval
+            while P.left.high is not None and P.left.high[1] == u:
+                P.left.high = self.ref.get(P.left.high)
+            if P.left.high is None and P.left.low is not None:
+                self.ref[P.left.low] = P.right.low
+                self.side[P.left.low] = -1
+                P.left.low = None
+            # trim right interval
+            while P.right.high is not None and P.right.high[1] == u:
+                P.right.high = self.ref.get(P.right.high)
+            if P.right.high is None and P.right.low is not None:
+                self.ref[P.right.low] = P.left.low
+                self.side[P.right.low] = -1
+                P.right.low = None
+            self.S.append(P)
+
+    # -- phase 3: embedding ------------------------------------------------------
+
+    def _sign(self, e: OrientedEdge) -> int:
+        """Resolve the final side of edge e through its ref chain (iterative)."""
+        chain = []
+        while self.ref.get(e) is not None:
+            chain.append(e)
+            e = self.ref[e]
+        s = self.side.get(e, 1)
+        for edge in reversed(chain):
+            s = self.side.get(edge, 1) * s
+            self.side[edge] = s
+            self.ref[edge] = None
+        return s
+
+    def _build_embedding(self) -> None:
+        for v in self.G.nodes():
+            for w in self.adj[v]:
+                vw = (v, w)
+                self.nesting_depth[vw] *= self._sign(vw)
+            self.ordered_adjs[v] = sorted(
+                self.adj[v], key=lambda w: self.nesting_depth[(v, w)]
+            )
+        emb = RotationSystem(self.G.n)
+        for v in self.G.nodes():
+            prev = None
+            for w in self.ordered_adjs[v]:
+                if prev is None:
+                    emb.add_first_edge(v, w)
+                else:
+                    emb.add_cw(v, w, prev)
+                prev = w
+        self.embedding = emb
+        for root in self.roots:
+            self._dfs_embedding(root)
+
+    def _dfs_embedding(self, v: int) -> None:
+        emb = self.embedding
+        for w in self.ordered_adjs[v]:
+            ei = (v, w)
+            if ei == self.parent_edge[w]:  # tree edge
+                emb.add_half_edge_first(w, v)
+                self.left_ref[v] = w
+                self.right_ref[v] = w
+                self._dfs_embedding(w)
+            else:  # back edge, ends at ancestor w
+                if self.side.get(ei, 1) == 1:
+                    emb.add_cw(w, v, self.right_ref[w])
+                else:
+                    emb.add_ccw(w, v, self.left_ref[w])
+                    self.left_ref[w] = v
+
+
+def find_planar_embedding(graph: Graph) -> Optional[RotationSystem]:
+    """A planar rotation system of ``graph``, or None if non-planar."""
+    return LRPlanarity(graph).run()
+
+
+def is_planar(graph: Graph) -> bool:
+    """Decide planarity via the left-right criterion."""
+    return find_planar_embedding(graph) is not None

@@ -1,0 +1,66 @@
+"""Treewidth-at-most-2 recognition.
+
+Bodlaender's characterization (Lemma 8.2 of the paper): a graph has
+treewidth <= 2 iff every biconnected component is series-parallel.  We also
+provide the classic direct reduction (remove degree-<=1 nodes, contract
+degree-2 nodes, merge parallels; treewidth <= 2 iff the graph reduces to
+nothing), which the test suite cross-checks against the component-wise
+characterization and against a brute-force K4-minor search on small graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..core.network import Graph
+from .biconnectivity import biconnected_components, component_nodes
+from .series_parallel import is_series_parallel
+
+
+def is_treewidth_at_most_2(graph: Graph) -> bool:
+    """Componentwise: every biconnected component is series-parallel."""
+    for comp in biconnected_components(graph):
+        nodes = component_nodes(comp)
+        if len(nodes) <= 2:
+            continue
+        sub, _ = graph.subgraph(nodes)
+        if not is_series_parallel(sub):
+            return False
+    return True
+
+
+def is_treewidth_at_most_2_by_reduction(graph: Graph) -> bool:
+    """Direct reduction: tw(G) <= 2 iff G reduces to the empty graph by
+    repeatedly (a) deleting nodes of degree <= 1 and (b) contracting one
+    edge of a degree-2 node, merging any parallel edge that results."""
+    # adjacency with edge multiplicities
+    adj: Dict[int, Dict[int, int]] = {
+        v: {u: 1 for u in graph.neighbors(v)} for v in graph.nodes()
+    }
+    live: Set[int] = set(graph.nodes())
+    queue = list(live)
+    while queue:
+        v = queue.pop()
+        if v not in live:
+            continue
+        deg = len(adj[v])
+        if deg <= 1:
+            for u in list(adj[v]):
+                del adj[u][v]
+                queue.append(u)
+            adj[v].clear()
+            live.discard(v)
+            continue
+        if deg == 2:
+            a, b = sorted(adj[v])
+            del adj[a][v]
+            del adj[b][v]
+            adj[v].clear()
+            live.discard(v)
+            # add/merge edge (a, b)
+            if b not in adj[a]:
+                adj[a][b] = 1
+                adj[b][a] = 1
+            queue.append(a)
+            queue.append(b)
+    return not live

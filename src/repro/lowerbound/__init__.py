@@ -1,0 +1,17 @@
+"""Theorem 1.8: the one-round Omega(log n) lower bound, executable."""
+
+from .cut_and_paste import (
+    CutAndPasteAttack,
+    SchemeUnderAttack,
+    TruncatedPositionScheme,
+    attack_success_rate,
+    min_resistant_label_size,
+)
+
+__all__ = [
+    "CutAndPasteAttack",
+    "SchemeUnderAttack",
+    "TruncatedPositionScheme",
+    "attack_success_rate",
+    "min_resistant_label_size",
+]

@@ -1,0 +1,198 @@
+"""The cut-and-paste engine behind Theorem 1.8.
+
+Any one-round distributed proof is just a label assignment plus a local
+verdict.  On the cycle family C_n -- yes-instances for every property in
+Theorem 1.8 (path-outerplanar, outerplanar, embedded planar, planar,
+series-parallel, treewidth <= 2) -- all nodes have degree 2, so a node's
+entire view is (own label, left label, right label).  If two non-adjacent
+path edges (i, i+1) and (j, j+1) carry identical boundary label pairs
+(L_i, L_{i+1}) = (L_j, L_{j+1}), the *surgery* that replaces them by
+(i, j+1) and (j, i+1) preserves every node's view verbatim -- yet it turns
+one cycle into two disjoint cycles, a no-instance for path-outerplanarity
+(no Hamiltonian path exists).  Hence any verifier that accepts the honest
+run on C_n accepts the surgered no-instance.
+
+Pigeonhole: with l-bit labels there are at most 2^{2l} distinct boundary
+pairs, so any scheme with 2^{2l} < n - 2 is attackable: one-round proofs
+need l = Omega(log n).  The argument is oblivious to the verifier's
+randomness: it only uses the label assignment, so it survives a randomized
+verifier and even unbounded shared randomness (the paper's strengthening)
+-- the attack succeeds for every fixed value of the shared random string,
+as :func:`attack_success_rate` measures empirically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.network import Graph, cycle_graph
+
+
+class SchemeUnderAttack:
+    """A one-round scheme restricted to the cycle family.
+
+    ``label_bits`` is the label size; ``labels(n, rho)`` returns the honest
+    labels of C_n (node i adjacent to i-1, i+1 mod n), possibly depending
+    on a shared random string ``rho``.
+    """
+
+    label_bits: int = 0
+
+    def labels(self, n: int, rho: random.Random) -> List[int]:
+        raise NotImplementedError
+
+
+class TruncatedPositionScheme(SchemeUnderAttack):
+    """The natural compression attempt: position mod 2^l.
+
+    For l >= ceil(log2 n) this is the (sound) explicit-position baseline;
+    below that the cut-and-paste attack finds collisions.
+    """
+
+    def __init__(self, label_bits: int):
+        self.label_bits = label_bits
+
+    def labels(self, n: int, rho: random.Random) -> List[int]:
+        mask = (1 << self.label_bits) - 1
+        return [i & mask for i in range(n)]
+
+
+class SaltedPositionScheme(SchemeUnderAttack):
+    """Positions XOR-ed with shared randomness: the scheme a randomized
+    verifier with unbounded shared randomness might hope to exploit.
+    The attack still succeeds for every fixed random string."""
+
+    def __init__(self, label_bits: int):
+        self.label_bits = label_bits
+
+    def labels(self, n: int, rho: random.Random) -> List[int]:
+        mask = (1 << self.label_bits) - 1
+        salt = rho.getrandbits(max(1, self.label_bits))
+        return [(i ^ salt) & mask for i in range(n)]
+
+
+class RandomLabelScheme(SchemeUnderAttack):
+    """Uniformly random labels (a hashing-style scheme)."""
+
+    def __init__(self, label_bits: int):
+        self.label_bits = label_bits
+
+    def labels(self, n: int, rho: random.Random) -> List[int]:
+        return [rho.getrandbits(self.label_bits) for _ in range(n)]
+
+
+@dataclass
+class SurgeryResult:
+    """A successful cut-and-paste: the no-instance and the splice points."""
+
+    graph: Graph
+    i: int
+    j: int
+    labels: List[int]
+
+
+class CutAndPasteAttack:
+    """Find view-preserving surgery on C_n against a given scheme."""
+
+    def __init__(self, n: int):
+        if n < 8:
+            raise ValueError("need n >= 8 for disjoint surgery")
+        self.n = n
+
+    def find_surgery(
+        self, labels: Sequence[int]
+    ) -> Optional[Tuple[int, int]]:
+        """A pair of disjoint path edges with identical boundary pairs."""
+        n = self.n
+        seen = {}
+        for i in range(n):
+            key = (labels[i], labels[(i + 1) % n])
+            if key in seen:
+                j = seen[key]
+                # the two edges (j, j+1), (i, i+1) must be disjoint and the
+                # surgered cycles must both have >= 3 nodes
+                if i - j >= 3 and (n - (i - j)) >= 3:
+                    return (j, i)
+            else:
+                seen[key] = i
+        return None
+
+    def surgered_graph(
+        self, labels: Sequence[int], i: int, j: int
+    ) -> SurgeryResult:
+        """Replace edges (i, i+1), (j, j+1) by (i, j+1), (j, i+1)."""
+        n = self.n
+        g = cycle_graph(n)
+        g.remove_edge(i, (i + 1) % n)
+        g.remove_edge(j, (j + 1) % n)
+        g.add_edge(i, (j + 1) % n)
+        g.add_edge(j, (i + 1) % n)
+        return SurgeryResult(g, i, j, list(labels))
+
+    def run(self, scheme: SchemeUnderAttack, rho: random.Random) -> Optional[SurgeryResult]:
+        labels = scheme.labels(self.n, rho)
+        pair = self.find_surgery(labels)
+        if pair is None:
+            return None
+        return self.surgered_graph(labels, *pair)
+
+
+def views_preserved(result: SurgeryResult, n: int) -> bool:
+    """Sanity check: every node's (own, neighbor-multiset) labeled view in
+    the surgered graph already occurs in the honest cycle run."""
+    labels = result.labels
+    cycle_views = {
+        (
+            labels[i],
+            frozenset({labels[(i - 1) % n], labels[(i + 1) % n]}),
+        )
+        for i in range(n)
+    }
+    g = result.graph
+    for v in g.nodes():
+        view = (labels[v], frozenset(labels[u] for u in g.neighbors(v)))
+        if view not in cycle_views:
+            return False
+    return True
+
+
+def attack_success_rate(
+    scheme: SchemeUnderAttack, n: int, trials: int = 50, seed: int = 0
+) -> float:
+    """Fraction of shared-randomness draws on which the surgery exists."""
+    attack = CutAndPasteAttack(n)
+    rng = random.Random(seed)
+    wins = 0
+    for _ in range(trials):
+        if attack.run(scheme, random.Random(rng.getrandbits(64))) is not None:
+            wins += 1
+    return wins / trials
+
+
+def min_resistant_label_size(
+    scheme_factory: Callable[[int], SchemeUnderAttack],
+    n: int,
+    max_bits: int = 64,
+    trials: int = 10,
+    seed: int = 0,
+) -> int:
+    """Smallest label size at which the attack stops succeeding.
+
+    For position-derived schemes this lands at Theta(log n), the measured
+    form of the Omega(log n) bound.
+    """
+    for bits in range(1, max_bits + 1):
+        if attack_success_rate(scheme_factory(bits), n, trials, seed) == 0.0:
+            return bits
+    return max_bits + 1
+
+
+def pigeonhole_bound(n: int) -> int:
+    """Below this label size *every* scheme is attackable on C_n:
+    2^{2l} < n - 2 forces a boundary-pair collision."""
+    bits = 0
+    while (1 << (2 * (bits + 1))) < n - 2:
+        bits += 1
+    return bits

@@ -1,0 +1,34 @@
+"""Protocol building blocks: fields, PIT polynomials, sub-protocols."""
+
+from .edge_labels import EdgeLabelSimulation
+from .fields import PrimeField, is_prime, next_prime
+from .forest_encoding import (
+    FOREST_LABEL_BITS,
+    DecodedForestView,
+    decode_forest_view,
+    forest_encoding_labels,
+)
+from .multiset_equality import (
+    MultisetSession,
+    check_subtree_eval,
+    honest_subtree_evals,
+    session_field_for_universe,
+)
+from .polynomials import (
+    bits_to_int,
+    bitstring_index_multiset,
+    int_to_bits,
+    multiset_poly_eval,
+    pair_decode,
+    pair_encode,
+    prefix_poly_evals,
+)
+from .spanning_tree_verification import (
+    STV_ELEM_BITS,
+    STV_FIELD,
+    check_node as stv_check_node,
+    coin_widths as stv_coin_widths,
+    honest_round3_labels as stv_honest_round3_labels,
+    run_standalone as stv_run_standalone,
+    split_coins as stv_split_coins,
+)

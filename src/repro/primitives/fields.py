@@ -1,0 +1,93 @@
+"""Prime fields for polynomial identity testing.
+
+The multiset-equality protocol (Lemma 2.6) evaluates characteristic
+polynomials over F_p where p is the smallest prime exceeding a
+soundness-driven threshold (p > k^{c+1} for multisets of size k, giving a
+1/k^c soundness error and O(log k)-bit field elements).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin, exact for all 64-bit integers."""
+    if n < 2:
+        return False
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+import functools
+
+
+@functools.lru_cache(maxsize=4096)
+def next_prime(n: int) -> int:
+    """Smallest prime strictly greater than ``n`` (memoized: protocol
+    parameter objects query it on every property access)."""
+    candidate = max(2, n + 1)
+    if candidate <= 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+class PrimeField:
+    """Arithmetic in F_p (thin wrapper keeping p explicit and validated)."""
+
+    __slots__ = ("p",)
+
+    def __init__(self, p: int):
+        if not is_prime(p):
+            raise ValueError(f"{p} is not prime")
+        self.p = p
+
+    def add(self, a: int, b: int) -> int:
+        return (a + b) % self.p
+
+    def sub(self, a: int, b: int) -> int:
+        return (a - b) % self.p
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.p
+
+    def inv(self, a: int) -> int:
+        if a % self.p == 0:
+            raise ZeroDivisionError("no inverse of 0")
+        return pow(a, self.p - 2, self.p)
+
+    def contains(self, a: int) -> bool:
+        return 0 <= a < self.p
+
+    def random_element(self, rng) -> int:
+        return rng.randrange(self.p)
+
+    def __repr__(self) -> str:
+        return f"F_{self.p}"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, PrimeField) and self.p == other.p
+
+    def __hash__(self):
+        return hash(("PrimeField", self.p))

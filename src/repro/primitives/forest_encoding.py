@@ -1,0 +1,151 @@
+"""Lemma 2.3: constant-size spanning-forest advice in planar graphs.
+
+The prover communicates a rooted spanning forest F of a planar graph with
+O(1)-bit labels: contract every odd-depth-to-parent edge to get G_odd and
+every even-depth-to-parent edge to get G_even; both are planar (minors of
+G), hence properly colorable with O(1) colors.  Each node's label carries
+its two contraction colors and its depth parity; a node then recognizes its
+parent and children purely from its own and its neighbors' labels.
+
+We use the degeneracy-greedy coloring (<= 6 colors for planar inputs; see
+DESIGN.md Substitutions), so a label costs 3 + 3 + 1 + 1 = 8 bits (the
+extra bit flags roots).
+
+Decoding is *robust*: on adversarial labels a node either decodes some
+parent/children claim or reports failure; nothing here certifies that the
+decoded structure is actually a spanning forest -- that is Lemma 2.5's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.labels import Label
+from ..core.network import Graph
+from ..graphs.coloring import greedy_coloring
+from ..graphs.spanning import RootedForest
+
+#: bits per color field (6 colors fit in 3 bits; guarded below)
+COLOR_BITS = 3
+MAX_COLORS = 1 << COLOR_BITS
+
+#: total bits of a forest-encoding label
+FOREST_LABEL_BITS = 2 * COLOR_BITS + 2
+
+
+def _contracted_graph(
+    graph: Graph, forest: RootedForest, contract_parity: int
+) -> Tuple[Graph, Dict[int, int]]:
+    """Contract every (v, parent(v)) edge with depth(v) % 2 == contract_parity.
+
+    Returns the contracted graph plus the map node -> contracted-node id.
+    Self-loops vanish; parallel edges merge (colorings only need adjacency).
+    """
+    # union-find over contraction groups
+    rep = list(range(graph.n))
+
+    def find(v: int) -> int:
+        while rep[v] != v:
+            rep[v] = rep[rep[v]]
+            v = rep[v]
+        return v
+
+    for v, parent in forest.parent.items():
+        if forest.depth(v) % 2 == contract_parity:
+            rv, rp = find(v), find(parent)
+            if rv != rp:
+                rep[rv] = rp
+    group: Dict[int, int] = {}
+    mapping: Dict[int, int] = {}
+    for v in graph.nodes():
+        r = find(v)
+        if r not in group:
+            group[r] = len(group)
+        mapping[v] = group[r]
+    contracted = Graph(len(group))
+    for u, v in graph.edges():
+        cu, cv = mapping[u], mapping[v]
+        if cu != cv:
+            contracted.add_edge(cu, cv)
+    return contracted, mapping
+
+
+def forest_encoding_labels(graph: Graph, forest: RootedForest) -> Dict[int, Label]:
+    """The honest prover's Lemma-2.3 labels for communicating ``forest``."""
+    g_odd, map_odd = _contracted_graph(graph, forest, contract_parity=1)
+    g_even, map_even = _contracted_graph(graph, forest, contract_parity=0)
+    col_odd = greedy_coloring(g_odd)
+    col_even = greedy_coloring(g_even)
+    if max(col_odd.values(), default=0) >= MAX_COLORS or (
+        max(col_even.values(), default=0) >= MAX_COLORS
+    ):
+        raise ValueError(
+            "contracted graph needed more than 6 colors; input not planar?"
+        )
+    roots = set(forest.roots())
+    labels: Dict[int, Label] = {}
+    for v in graph.nodes():
+        labels[v] = (
+            Label()
+            .uint("c1", col_odd[map_odd[v]], COLOR_BITS)
+            .uint("c2", col_even[map_even[v]], COLOR_BITS)
+            .uint("parity", forest.depth(v) % 2, 1)
+            .flag("is_root", v in roots)
+        )
+    return labels
+
+
+@dataclass
+class DecodedForestView:
+    """What one node learns about the forest from the labels around it."""
+
+    parent_port: Optional[int]  # None for a (claimed) root
+    children_ports: List[int]
+    is_root: bool
+
+
+def decode_forest_view(
+    own: Label, neighbor_labels: Sequence[Label]
+) -> Optional[DecodedForestView]:
+    """Recover a node's parent/children ports from Lemma-2.3 labels.
+
+    Returns None when the labels are malformed or ambiguous (the node
+    should reject in that case).  Matching rules from the paper's proof:
+
+    - parity(v) = 1: parent is the unique neighbor u with parity 0 and
+      c1(u) = c1(v); children are the neighbors with parity 0 and
+      c2(u) = c2(v).
+    - parity(v) = 0: parent is the unique neighbor u with parity 1 and
+      c2(u) = c2(v); children are the neighbors with parity 1 and
+      c1(u) = c1(v).
+    """
+    required = ("c1", "c2", "parity", "is_root")
+    if any(k not in own for k in required):
+        return None
+    for lbl in neighbor_labels:
+        if any(k not in lbl for k in required):
+            return None
+    parity = own["parity"]
+    parent_color_key = "c1" if parity == 1 else "c2"
+    child_color_key = "c2" if parity == 1 else "c1"
+    parent_candidates = [
+        port
+        for port, lbl in enumerate(neighbor_labels)
+        if lbl["parity"] != parity and lbl[parent_color_key] == own[parent_color_key]
+    ]
+    children = [
+        port
+        for port, lbl in enumerate(neighbor_labels)
+        if lbl["parity"] != parity and lbl[child_color_key] == own[child_color_key]
+    ]
+    if own["is_root"]:
+        if parent_candidates:
+            return None  # a root must not decode a parent
+        return DecodedForestView(None, children, True)
+    if len(parent_candidates) != 1:
+        return None
+    parent_port = parent_candidates[0]
+    if parent_port in children:
+        return None  # a neighbor cannot be both parent and child
+    return DecodedForestView(parent_port, children, False)

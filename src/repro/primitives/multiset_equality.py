@@ -1,0 +1,92 @@
+"""Lemma 2.6: the 2-round multiset-equality sub-protocol.
+
+Given a rooted spanning tree (of the whole graph, of a block's sub-path, or
+of any session-local structure), each node holds two multisets S1(v), S2(v)
+of integers from a universe of size k^c, with |S1|, |S2| <= k.  The session:
+
+1. the root samples z uniformly from F_p (p the smallest prime > k^{c+1})
+   and sends it to the prover;
+2. the prover distributes z to all session nodes and assigns each node the
+   subtree evaluations phi_{S1^v}(z), phi_{S2^v}(z) (products over the
+   node's subtree).
+
+Each node locally re-derives its own subtree value from its children's
+labels and its own input (polynomial evaluation is verifiable "up the
+tree"), checks z-consistency with session neighbors, and the root finally
+compares the two full products.  Soundness k/p <= 1/k^c by polynomial
+identity testing.
+
+This module is *deliberately round-less*: it computes honest labels and
+runs local checks, and the enclosing protocol wires them into its own
+interaction rounds (the paper composes sessions into shared rounds too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from .fields import PrimeField, next_prime
+from .polynomials import multiset_poly_eval
+
+
+@dataclass(frozen=True)
+class MultisetSession:
+    """Parameters of one multiset-equality session."""
+
+    field: PrimeField
+    #: session tree: children of each node (node ids are protocol-level)
+    children: Dict[int, List[int]]
+    root: int
+
+    @classmethod
+    def for_bound(cls, k: int, c: int, children: Dict[int, List[int]], root: int):
+        """Field sized for multisets of size <= k and soundness 1/k^(c-1)."""
+        p = next_prime(max(2, k) ** c)
+        return cls(PrimeField(p), children, root)
+
+
+def honest_subtree_evals(
+    session: MultisetSession,
+    contributions: Callable[[int], Iterable[int]],
+    z: int,
+) -> Dict[int, int]:
+    """phi of every node's subtree contributions, bottom-up (iterative)."""
+    field = session.field
+    evals: Dict[int, int] = {}
+    stack = [(session.root, False)]
+    while stack:
+        v, processed = stack.pop()
+        kids = session.children.get(v, [])
+        if not processed:
+            stack.append((v, True))
+            stack.extend((c, False) for c in kids)
+            continue
+        acc = multiset_poly_eval(contributions(v), z, field)
+        for c in kids:
+            acc = field.mul(acc, evals[c])
+        evals[v] = acc
+    return evals
+
+
+def check_subtree_eval(
+    field: PrimeField,
+    own_value: int,
+    own_contributions: Iterable[int],
+    children_values: Sequence[int],
+    z: int,
+) -> bool:
+    """Local re-derivation: own label == phi(own inputs) * prod(children)."""
+    if not field.contains(own_value) or not field.contains(z):
+        return False
+    acc = multiset_poly_eval(own_contributions, z, field)
+    for cv in children_values:
+        if not field.contains(cv):
+            return False
+        acc = field.mul(acc, cv)
+    return acc == own_value
+
+
+def session_field_for_universe(universe_size: int, soundness_factor: int) -> PrimeField:
+    """Smallest prime > universe_size * soundness_factor (PIT headroom)."""
+    return PrimeField(next_prime(universe_size * max(1, soundness_factor)))

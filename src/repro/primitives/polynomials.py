@@ -1,0 +1,75 @@
+"""Multiset characteristic polynomials over prime fields.
+
+For a multiset S of integers, define phi_S(x) = prod_{s in S} (s - x).
+Two multisets of size <= k over a universe of size k^c are equal iff their
+polynomials agree; evaluating at a random point of F_p with p > k^{c+1}
+distinguishes unequal multisets except with probability k/p (polynomial
+identity testing).  These evaluations are the only "hashes" any protocol in
+the paper needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from .fields import PrimeField
+
+
+def multiset_poly_eval(multiset: Iterable[int], z: int, field: PrimeField) -> int:
+    """phi_S(z) = prod (s - z) over F_p."""
+    acc = 1
+    p = field.p
+    for s in multiset:
+        acc = acc * ((s - z) % p) % p
+    return acc
+
+
+def prefix_poly_evals(values: Sequence[int], z: int, field: PrimeField) -> List[int]:
+    """phi of every prefix: out[i] = phi_{values[:i]}(z); out[0] = 1.
+
+    The LR-sorting commitment scheme (Section 4.2) evaluates, for every
+    index i, the polynomial of the i most significant bits of a block's
+    position -- exactly the prefix stream of the per-node contributions.
+    """
+    p = field.p
+    out = [1]
+    acc = 1
+    for s in values:
+        acc = acc * ((s - z) % p) % p
+        out.append(acc)
+    return out
+
+
+def bitstring_index_multiset(bits: Sequence[int]) -> List[int]:
+    """The paper's encoding of a bitstring as a set: 1-based indices of 1-bits.
+
+    (Section 4.1: "a bitstring is interpreted as the subset of [ceil(log n)]
+    that contains the indices whose bit is 1".)
+    """
+    return [i + 1 for i, b in enumerate(bits) if b]
+
+
+def int_to_bits(x: int, width: int) -> List[int]:
+    """Most-significant-bit-first binary representation, zero padded."""
+    if x < 0 or x.bit_length() > width:
+        raise ValueError(f"{x} does not fit in {width} bits")
+    return [(x >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    out = 0
+    for b in bits:
+        out = (out << 1) | (b & 1)
+    return out
+
+
+def pair_encode(i: int, j: int, j_range: int) -> int:
+    """Fixed bijection [A] x [B] -> [A*B] used by the verification scheme
+    of Section 4.2 (pairs (index, field value) as multiset elements)."""
+    if j < 0 or j >= j_range:
+        raise ValueError("j out of range")
+    return i * j_range + j
+
+
+def pair_decode(code: int, j_range: int) -> tuple:
+    return divmod(code, j_range)

@@ -1,0 +1,197 @@
+"""Lemma 2.5: spanning-tree verification in 3 rounds with O(1)-bit labels.
+
+The paper uses the protocol of Naor, Parter and Yogev (SODA 2020, Section
+7.1) as a black box: 3 interaction rounds, constant proof size, perfect
+completeness, constant soundness error, amplified by parallel repetition.
+This module is a faithful reconstruction honouring that contract:
+
+Round 1 (prover).  The claimed tree arrives as Lemma-2.3 forest-encoding
+labels (parent/children decodable locally, one node flagged as root).
+
+Round 2 (verifier).  Every node draws, for each of ``t`` parallel
+repetitions, a uniform element x of the constant-size field F_17.
+
+Round 3 (prover).  For each repetition, every node receives s(v) = the sum
+of x over its claimed subtree, plus a globally-constant value Z claimed to
+be the sum of x over all nodes.
+
+Local checks: s(v) = x(v) + sum of children's s;  Z equal across every
+graph edge (the graph is connected, so Z is genuinely global);  the root
+checks s(root) = Z.
+
+Why this is sound (constant error per repetition): parent pointers with
+out-degree <= 1 form trees plus cycles.  Around a cycle the s-constraints
+telescope to "sum of x over the cycle's component == 0 mod 17", which the
+prover cannot influence (x is drawn after the pointers are committed).
+With k >= 2 roots and no cycle, s(root_i) is forced to its tree's x-sum,
+and all of them must equal the single global Z -- again a random event.
+Each repetition fails cheaters independently with probability 1 - 1/17.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.labels import BitString, Label, field_elem_width
+from ..core.network import Graph
+from ..graphs.spanning import RootedForest
+from .fields import PrimeField
+from .forest_encoding import DecodedForestView, decode_forest_view, forest_encoding_labels
+
+#: the constant-size sketch field (soundness 1/17 per repetition)
+STV_FIELD = PrimeField(17)
+STV_ELEM_BITS = field_elem_width(STV_FIELD.p)
+
+
+def coin_widths(n: int, repetitions: int) -> Dict[int, int]:
+    """Verifier coin widths for round 2: t field elements per node."""
+    return {v: repetitions * STV_ELEM_BITS for v in range(n)}
+
+
+def split_coins(coins: BitString, repetitions: int) -> List[int]:
+    """Decode a node's round-2 coins into t field elements.
+
+    Values are reduced mod p; the tiny bias (32 raw values onto 17) is
+    irrelevant to the soundness argument and keeps coins fixed-width.
+    """
+    out = []
+    value = coins.value
+    for _ in range(repetitions):
+        out.append((value & ((1 << STV_ELEM_BITS) - 1)) % STV_FIELD.p)
+        value >>= STV_ELEM_BITS
+    return out
+
+
+def honest_round3_labels(
+    graph: Graph,
+    tree: RootedForest,
+    coins: Dict[int, BitString],
+    repetitions: int,
+) -> Dict[int, Label]:
+    """The honest prover's subtree sums and global sums."""
+    x: Dict[int, List[int]] = {
+        v: split_coins(coins[v], repetitions) for v in graph.nodes()
+    }
+    z_totals = [
+        sum(x[v][j] for v in graph.nodes()) % STV_FIELD.p
+        for j in range(repetitions)
+    ]
+    # subtree sums, bottom-up
+    children = tree.children_map()
+    roots = tree.roots()
+    s: Dict[int, List[int]] = {}
+    order: List[int] = []
+    stack = list(roots)
+    while stack:
+        v = stack.pop()
+        order.append(v)
+        stack.extend(children[v])
+    for v in reversed(order):
+        sums = list(x[v])
+        for c in children[v]:
+            for j in range(repetitions):
+                sums[j] = (sums[j] + s[c][j]) % STV_FIELD.p
+        s[v] = sums
+    labels: Dict[int, Label] = {}
+    for v in graph.nodes():
+        lbl = Label()
+        for j in range(repetitions):
+            lbl.field_elem(f"s{j}", s[v][j], STV_FIELD.p)
+            lbl.field_elem(f"Z{j}", z_totals[j], STV_FIELD.p)
+        labels[v] = lbl
+    return labels
+
+
+def check_node(
+    decoded: Optional[DecodedForestView],
+    own_coins: BitString,
+    own_label: Label,
+    neighbor_labels: Sequence[Label],
+    repetitions: int,
+    expected_tree_ports: Optional[Sequence[int]] = None,
+) -> bool:
+    """The full local check of the spanning-tree verification at one node.
+
+    ``decoded`` is the node's Lemma-2.3 decode of the claimed tree (None
+    means the encoding was malformed -> reject).  ``expected_tree_ports``
+    (optional) pins the decoded tree edges to an instance-supplied marked
+    subgraph (the standalone task of Lemma 2.5); protocols that let the
+    prover *commit* a tree leave it None.
+    """
+    if decoded is None:
+        return False
+    if expected_tree_ports is not None:
+        decoded_ports = set(decoded.children_ports)
+        if decoded.parent_port is not None:
+            decoded_ports.add(decoded.parent_port)
+        if decoded_ports != set(expected_tree_ports):
+            return False
+    x = split_coins(own_coins, repetitions)
+    p = STV_FIELD.p
+    for j in range(repetitions):
+        key_s, key_z = f"s{j}", f"Z{j}"
+        if key_s not in own_label or key_z not in own_label:
+            return False
+        s_v = own_label[key_s]
+        z_v = own_label[key_z]
+        if not (0 <= s_v < p and 0 <= z_v < p):
+            return False
+        # global-sum consistency across every graph edge
+        for lbl in neighbor_labels:
+            if key_z not in lbl or lbl[key_z] != z_v:
+                return False
+        # subtree-sum recurrence
+        total = x[j]
+        for port in decoded.children_ports:
+            lbl = neighbor_labels[port]
+            if key_s not in lbl:
+                return False
+            total = (total + lbl[key_s]) % p
+        if total != s_v:
+            return False
+        if decoded.is_root and s_v != z_v:
+            return False
+    return True
+
+
+def run_standalone(
+    graph: Graph,
+    tree: RootedForest,
+    rng: random.Random,
+    repetitions: int = 4,
+    prover_labels_round3=None,
+    prover_labels_round1=None,
+) -> Tuple[bool, List[Label], int]:
+    """Convenience driver for tests: run the 3-round protocol end to end.
+
+    Returns (accepted, all labels of round 3, proof size in bits).  Custom
+    prover callbacks allow adversarial experiments.
+    """
+    r1 = (
+        prover_labels_round1(graph, tree)
+        if prover_labels_round1
+        else forest_encoding_labels(graph, tree)
+    )
+    coins = {
+        v: BitString.random(rng, repetitions * STV_ELEM_BITS)
+        for v in graph.nodes()
+    }
+    r3 = (
+        prover_labels_round3(graph, tree, coins, repetitions)
+        if prover_labels_round3
+        else honest_round3_labels(graph, tree, coins, repetitions)
+    )
+    ok = True
+    for v in graph.nodes():
+        nbrs = graph.neighbors(v)
+        decoded = decode_forest_view(r1[v], [r1[u] for u in nbrs])
+        if not check_node(
+            decoded, coins[v], r3[v], [r3[u] for u in nbrs], repetitions
+        ):
+            ok = False
+    size = max(
+        max((l.bit_size() for l in r1.values()), default=0),
+        max((l.bit_size() for l in r3.values()), default=0),
+    )
+    return ok, r3, size

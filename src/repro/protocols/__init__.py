@@ -1,0 +1,35 @@
+"""The paper's distributed interactive proofs (Theorems 1.2-1.7, Lemma 4.1)."""
+
+from .composition import CompositeRunResult, SubRun, combine
+from .instances import (
+    LRSortingInstance,
+    OuterplanarInstance,
+    PathOuterplanarInstance,
+    PlanarEmbeddingInstance,
+    PlanarityInstance,
+    SeriesParallelInstance,
+    SpanningSubgraphInstance,
+    Treewidth2Instance,
+)
+from .lr_sorting import (
+    HonestLRSortingProver,
+    LRParams,
+    LRSortingProtocol,
+    LRSortingProver,
+)
+from .multiset_equality_protocol import (
+    MultisetEqualityInstance,
+    MultisetEqualityProtocol,
+    MultisetEqualityProver,
+)
+from .outerplanarity import OuterplanarityProtocol, OuterplanarityProver
+from .path_outerplanarity import (
+    HonestPathOuterplanarityProver,
+    PathOuterplanarityProtocol,
+    PathOuterplanarityProver,
+)
+from .planar_embedding import PlanarEmbeddingProtocol, PlanarEmbeddingProver
+from .planarity import PlanarityProtocol, PlanarityProver
+from .series_parallel import SeriesParallelProtocol, SeriesParallelProver
+from .spanning_tree import SpanningTreeVerificationProtocol, STVProver
+from .treewidth2 import Treewidth2Protocol, Treewidth2Prover

@@ -1,0 +1,8 @@
+"""Prior-work baselines: one-round Theta(log n) schemes."""
+
+from .lr_sorting_trivial import TrivialLRSortingProtocol, TrivialLRSortingProver
+from .pls_path_outerplanarity import (
+    PLSPathOuterplanarityProtocol,
+    PLSPathOuterplanarityProver,
+)
+from .pls_planarity import PLSPlanarityProtocol, PLSPlanarityProver

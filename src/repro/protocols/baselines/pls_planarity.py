@@ -1,0 +1,99 @@
+"""Baseline: a Theta(log n) one-round proof labeling scheme for planarity.
+
+The FFM+21-style scheme: the prover computes a planar embedding and a
+rooted spanning tree, derives the Euler-tour graph h(G, T, rho), and ships
+explicit h-positions (and above-intervals) for every copy -- the same
+reduction the interactive protocol of Theorem 1.5 uses, but paying
+Theta(log n) bits because positions are explicit.  Each node carries the
+baseline labels of the constant number of copies it simulates, plus its
+parent's identity-free tree pointer and the rotation values (O(log Delta)).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ...core.labels import uint_width
+from ...core.network import Graph
+from ...core.protocol import DIPProtocol
+from ...graphs.embedding import RotationSystem
+from ...graphs.planarity import find_planar_embedding
+from ...graphs.spanning import bfs_spanning_tree
+from ..composition import CompositeRunResult, SubRun, combine
+from ..euler_reduction import build_euler_reduction, rotation_order_consistent
+from ..instances import PathOuterplanarInstance, PlanarityInstance
+from .pls_path_outerplanarity import (
+    PLSPathOuterplanarityProtocol,
+    PLSPathOuterplanarityProver,
+)
+
+
+class PLSPlanarityProver:
+    def __init__(self, instance: PlanarityInstance):
+        self.instance = instance
+
+    def rotations(self) -> RotationSystem:
+        emb = find_planar_embedding(self.instance.graph)
+        if emb is not None:
+            return emb
+        return RotationSystem.from_orders(
+            self.instance.graph.n,
+            {
+                v: self.instance.graph.neighbors(v)
+                for v in self.instance.graph.nodes()
+                if self.instance.graph.degree(v) > 0
+            },
+        )
+
+
+class PLSPlanarityProtocol(DIPProtocol):
+    """One round, Theta(log n + log Delta) bits."""
+
+    name = "pls-planarity"
+    designed_rounds = 1
+
+    def honest_prover(self, instance) -> PLSPlanarityProver:
+        return PLSPlanarityProver(instance)
+
+    def execute(
+        self,
+        instance: PlanarityInstance,
+        prover: Optional[PLSPlanarityProver] = None,
+        rng: Optional[random.Random] = None,
+    ) -> CompositeRunResult:
+        rng = rng or random.Random()
+        g = instance.graph
+        prover = prover or self.honest_prover(instance)
+        rotations = prover.rotations()
+        tree = bfs_spanning_tree(g, 0)
+        reduction = build_euler_reduction(g, tree, rotations, 0)
+        host_ok = rotation_order_consistent(g, tree, rotations, 0, reduction)
+
+        sub_instance = PathOuterplanarInstance(
+            reduction.h, witness_path=list(reduction.path)
+        )
+        sub = PLSPathOuterplanarityProtocol()
+        run = sub.execute(
+            sub_instance,
+            prover=PLSPathOuterplanarityProver(sub_instance),
+            rng=random.Random(rng.getrandbits(64)),
+        )
+        node_map = {
+            cid: tuple(hosts)
+            for cid, hosts in reduction.hosts_of_copy().items()
+        }
+        # explicit tree pointers (log n) + rotation values (log Delta)
+        delta = max(1, g.max_degree())
+        extra = {
+            v: uint_width(max(1, g.n - 1)) + 2 * uint_width(delta)
+            for v in g.nodes()
+        }
+        return combine(
+            self.name,
+            g.n,
+            [SubRun("pls-euler", run, node_map)],
+            host_ok=host_ok,
+            extra_bits=[extra],
+            meta={"h_nodes": reduction.h.n},
+        )

@@ -1,0 +1,130 @@
+"""Instance types for every verification task in the paper.
+
+An *instance* bundles the communication graph with whatever distributed
+input the task definition gives the nodes (a Hamiltonian path and edge
+orientations for LR-sorting, local rotations for planar embedding), plus
+optional witness hints that only the honest prover may use (the prover sees
+the entire instance anyway; cheating provers simply ignore the hints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.network import Edge, Graph, norm_edge
+from ..graphs.embedding import RotationSystem
+
+
+@dataclass
+class LRSortingInstance:
+    """Section 4: a directed graph whose Hamiltonian path is given.
+
+    ``path`` lists the nodes from left to right; every node knows its
+    incident path edges and their direction.  ``orientation`` maps each
+    non-path edge (canonical form) to its directed form ``(tail, head)``.
+    The instance is a yes-instance iff every directed edge points from left
+    to right along the path.
+    """
+
+    graph: Graph
+    path: List[int]
+    orientation: Dict[Edge, Tuple[int, int]]
+
+    def __post_init__(self):
+        if sorted(self.path) != list(self.graph.nodes()):
+            raise ValueError("path must be a Hamiltonian node sequence")
+        for i in range(len(self.path) - 1):
+            if not self.graph.has_edge(self.path[i], self.path[i + 1]):
+                raise ValueError("path edge missing from the graph")
+        path_edges = self.path_edge_set()
+        for e, (t, h) in self.orientation.items():
+            if e in path_edges:
+                raise ValueError("orientation must cover only non-path edges")
+            if norm_edge(t, h) != e or not self.graph.has_edge(t, h):
+                raise ValueError(f"bad orientation for edge {e}")
+        missing = self.graph.edge_set() - path_edges - set(self.orientation)
+        if missing:
+            raise ValueError(f"unoriented non-path edges: {sorted(missing)[:5]}")
+
+    def path_edge_set(self) -> frozenset:
+        return frozenset(
+            norm_edge(self.path[i], self.path[i + 1])
+            for i in range(len(self.path) - 1)
+        )
+
+    def position(self) -> Dict[int, int]:
+        return {v: i for i, v in enumerate(self.path)}
+
+    def is_yes_instance(self) -> bool:
+        pos = self.position()
+        return all(pos[t] < pos[h] for t, h in self.orientation.values())
+
+
+@dataclass
+class PathOuterplanarInstance:
+    """Theorem 1.2: is the graph path-outerplanar?"""
+
+    graph: Graph
+    #: optional witness for the honest prover (computed if absent)
+    witness_path: Optional[List[int]] = None
+
+
+@dataclass
+class OuterplanarInstance:
+    """Theorem 1.3: is the graph outerplanar?"""
+
+    graph: Graph
+
+
+@dataclass
+class PlanarEmbeddingInstance:
+    """Theorem 1.4: do the given local rotations form a planar embedding?
+
+    Every node holds a clockwise ordering ``rho_v`` of its incident edges.
+    """
+
+    graph: Graph
+    rotations: RotationSystem
+
+    def __post_init__(self):
+        for v in self.graph.nodes():
+            if set(self.rotations.cw[v]) != set(self.graph.neighbors(v)):
+                raise ValueError(f"rotation at node {v} does not match the graph")
+
+
+@dataclass
+class PlanarityInstance:
+    """Theorem 1.5: is the graph planar?"""
+
+    graph: Graph
+
+
+@dataclass
+class SeriesParallelInstance:
+    """Theorem 1.6: is the graph series-parallel?"""
+
+    graph: Graph
+
+
+@dataclass
+class Treewidth2Instance:
+    """Theorem 1.7: does the graph have treewidth at most 2?"""
+
+    graph: Graph
+
+
+@dataclass
+class SpanningSubgraphInstance:
+    """Lemma 2.5 substrate task: is the marked subgraph a spanning tree?
+
+    ``tree_edges`` are the edges the nodes see as marked (each node knows
+    its incident marked edges).
+    """
+
+    graph: Graph
+    tree_edges: frozenset
+
+    def is_yes_instance(self) -> bool:
+        marked = Graph(self.graph.n, self.tree_edges)
+        return marked.m == self.graph.n - 1 and marked.is_connected()

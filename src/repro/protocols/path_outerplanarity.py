@@ -1,0 +1,808 @@
+"""Section 5: path-outerplanarity in 5 rounds, O(log log n) bits (Thm 1.2).
+
+Three stages run in parallel inside the same 5 interaction rounds:
+
+*Committing to a path* (rounds 1-3).  The prover commits to a Hamiltonian
+path P via the Lemma-2.3 forest encoding (rooted at the left end), and
+proves it spans via the Lemma-2.5 spanning-tree verification amplified by
+``t`` parallel repetitions.  Each node additionally checks it has at most
+one child (a path, not a tree).
+
+*LR-sorting* (rounds 1-5).  The prover orients every non-path edge: the
+edge's 1-bit ``fwd`` flag means "the accountable endpoint (the child in
+the lowest forest of the Lemma-2.4 arboricity partition that covers the
+edge) precedes the other endpoint".  The Section-4 LR-sorting machinery
+then certifies that all claimed orientations point left-to-right; its
+block structure is laid over the *committed* path, so block leaders are
+the nodes whose round-1 label says ``idx == 1`` (coin widths in verifier
+rounds legally depend on earlier prover rounds).
+
+*Nesting verification* (rounds 1-3).  Every non-path edge is marked as
+longest-tail-right / longest-head-left; every node draws a random name
+fragment s_v; the prover assigns each edge its name (s_tail, s_head), its
+successor's name, and every node the name of the innermost edge strictly
+above it.  The local conditions (1)-(5) of Section 5 then pin the whole
+nesting structure, rejecting any crossing pair w.h.p.
+
+Everything is in the node-label-only model: edge labels ride on their
+accountable endpoints (Lemma 2.4), and the transcript's proof size counts
+the folded node labels.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.labels import BitString, Label, uint_width
+from ..core.network import Edge, Graph, norm_edge
+from ..core.protocol import DIPProtocol, Interaction, ProtocolError
+from ..core.transcript import RunResult
+from ..core.views import NodeView
+from ..graphs.outerplanar import find_path_outerplanar_witness
+from ..graphs.spanning import bfs_spanning_tree, hamiltonian_path_forest, RootedForest
+from ..primitives.edge_labels import EdgeLabelSimulation, N_FORESTS
+from ..primitives.forest_encoding import (
+    DecodedForestView,
+    decode_forest_view,
+    forest_encoding_labels,
+)
+from ..primitives.spanning_tree_verification import (
+    STV_ELEM_BITS,
+    honest_round3_labels as stv_round3,
+    check_node as stv_check,
+    split_coins as stv_split,
+)
+from .instances import PathOuterplanarInstance
+from .lr_sorting import (
+    IN,
+    OUT,
+    PATH_LEFT,
+    PATH_RIGHT,
+    HonestLRSortingProver,
+    LRNodeSlice,
+    LRParams,
+    lr_check_node,
+)
+
+
+class _LRShim:
+    """Duck-typed LRSortingInstance over a *claimed* (possibly fake) path."""
+
+    def __init__(self, graph: Graph, path: List[int], orientation):
+        self.graph = graph
+        self.path = path
+        self.orientation = orientation
+
+    def position(self):
+        return {v: i for i, v in enumerate(self.path)}
+
+
+class PathOuterplanarityParams:
+    """Derived sizes shared by prover and verifier."""
+
+    def __init__(self, n: int, c: int = 2):
+        self.n = n
+        self.c = c
+        self.lr = LRParams(n, c)
+        #: STV parallel repetitions (soundness (1/17)^t)
+        self.t = max(2, uint_width(self.lr.L))
+        #: random-name width (soundness ~ deg^2 / 2^w per node)
+        self.w = max(4, c * uint_width(self.lr.L))
+        self.stv_bits = self.t * STV_ELEM_BITS
+
+    @property
+    def name_width(self) -> int:
+        return self.w
+
+    def lr_coin2(self, raw: int, width: int) -> Tuple[int, int]:
+        """Strip the STV + name prefix off a node's round-2 coins."""
+        shift = self.stv_bits + self.w
+        return raw >> shift, max(0, width - shift)
+
+
+# ---------------------------------------------------------------------------
+# prover
+# ---------------------------------------------------------------------------
+
+
+class PathOuterplanarityProver:
+    """Base class; adversaries override the witness or label hooks."""
+
+    def __init__(self, instance: PathOuterplanarInstance):
+        self.instance = instance
+        self.params: Optional[PathOuterplanarityParams] = None
+        self.sim: Optional[EdgeLabelSimulation] = None
+
+    def bind(self, params, sim) -> "PathOuterplanarityProver":
+        self.params = params
+        self.sim = sim
+        return self
+
+    def claimed_path(self) -> Optional[List[int]]:
+        raise NotImplementedError
+
+    def round1(self):
+        raise NotImplementedError
+
+    def round3(self, coins):
+        raise NotImplementedError
+
+    def round5(self, coins):
+        raise NotImplementedError
+
+
+class HonestPathOuterplanarityProver(PathOuterplanarityProver):
+    """Honest prover; degrades gracefully on no-instances (best effort)."""
+
+    def claimed_path(self) -> Optional[List[int]]:
+        if self.instance.witness_path is not None:
+            return list(self.instance.witness_path)
+        return find_path_outerplanar_witness(self.instance.graph)
+
+    # -- setup -------------------------------------------------------------
+
+    def _setup(self):
+        g = self.instance.graph
+        path = self.claimed_path()
+        if path is not None and len(path) == g.n:
+            self.path = path
+            self.commit_forest = hamiltonian_path_forest(path, g.n)
+        else:
+            # fallback: commit a BFS tree; the <=1-child check rejects it
+            self.commit_forest = bfs_spanning_tree(g, 0)
+            order = [0]
+            kids = self.commit_forest.children_map()
+            stack = list(reversed(kids[0]))
+            while stack:
+                v = stack.pop()
+                order.append(v)
+                stack.extend(reversed(kids[v]))
+            self.path = order
+        self.pos = {v: i for i, v in enumerate(self.path)}
+        path_pairs = {
+            norm_edge(self.path[i], self.path[i + 1])
+            for i in range(len(self.path) - 1)
+        }
+        all_edges = g.edge_set()
+        self.path_edges = {e for e in path_pairs if e in all_edges}
+        self.non_path = [e for e in g.edges() if e not in self.path_edges]
+        self.orientation: Dict[Edge, Tuple[int, int]] = {}
+        for u, v in self.non_path:
+            t, h = (u, v) if self.pos[u] < self.pos[v] else (v, u)
+            self.orientation[(u, v)] = (t, h)
+        self.lr_prover = HonestLRSortingProver(
+            _LRShim(g, self.path, self.orientation)
+        ).bind(self.params.lr)
+        self._setup_nesting()
+
+    def _setup_nesting(self):
+        """Successor edges, above(), and longest marks under the claim."""
+        pos = self.pos
+        intervals = {
+            e: (pos[t], pos[h]) for e, (t, h) in self.orientation.items()
+        }
+        self.longest_tail: Dict[Edge, bool] = {}
+        self.longest_head: Dict[Edge, bool] = {}
+        by_tail: Dict[int, List[Edge]] = {}
+        by_head: Dict[int, List[Edge]] = {}
+        for e, (t, h) in self.orientation.items():
+            by_tail.setdefault(t, []).append(e)
+            by_head.setdefault(h, []).append(e)
+        for t, edges in by_tail.items():
+            best = max(edges, key=lambda e: intervals[e][1])
+            for e in edges:
+                self.longest_tail[e] = e == best
+        for h, edges in by_head.items():
+            best = min(edges, key=lambda e: intervals[e][0])
+            for e in edges:
+                self.longest_head[e] = e == best
+        # successor: innermost properly-containing interval.  A stack sweep
+        # over the sorted intervals is exact on laminar (yes-instance)
+        # data and produces well-formed best-effort values otherwise.
+        items = sorted(intervals.items(), key=lambda kv: (kv[1][0], -kv[1][1]))
+        self.successor: Dict[Edge, Optional[Edge]] = {}
+        stack: List[Tuple[Edge, Tuple[int, int]]] = []
+        for e, (a, b) in items:
+            while stack and stack[-1][1][1] < b:
+                stack.pop()
+            self.successor[e] = stack[-1][0] if stack else None
+            stack.append((e, (a, b)))
+        # above(w): innermost edge strictly spanning position of w, by a
+        # left-to-right sweep over positions
+        self.above: Dict[int, Optional[Edge]] = {}
+        starts: Dict[int, List[Tuple[Edge, Tuple[int, int]]]] = {}
+        for e, (a, b) in items:
+            starts.setdefault(a, []).append((e, (a, b)))
+        stack = []
+        for q, v in enumerate(self.path):
+            while stack and stack[-1][1][1] <= q:
+                stack.pop()
+            self.above[v] = stack[-1][0] if stack else None
+            for item in starts.get(q, ()):  # outermost first (sorted above)
+                stack.append(item)
+
+    # -- rounds --------------------------------------------------------------
+
+    def round1(self):
+        self._setup()
+        pm = self.params
+        g = self.instance.graph
+        commit_labels = _safe_forest_encoding(g, self.commit_forest)
+        lr_nodes, lr_edges = self.lr_prover.round1()
+        node_fields = {
+            v: {"commit": commit_labels[v], "lr": lr_nodes.get(v, {})}
+            for v in g.nodes()
+        }
+        edge_fields: Dict[Edge, dict] = {}
+        for e in self.non_path:
+            t, h = self.orientation[e]
+            accountable = self._accountable(e)
+            fields = dict(lr_edges.get(e, {"inner": True}))
+            fields["fwd"] = accountable == t
+            fields["ltail"] = self.longest_tail[e]
+            fields["lhead"] = self.longest_head[e]
+            edge_fields[e] = fields
+        return node_fields, edge_fields
+
+    def _accountable(self, e: Edge) -> int:
+        if self.sim is not None and norm_edge(*e) in self.sim.assignment:
+            return self.sim.assignment[norm_edge(*e)][1]
+        return e[0]
+
+    def round3(self, coins):
+        pm = self.params
+        g = self.instance.graph
+        # STV sums over the committed structure
+        stv_coins = {
+            v: BitString(coins[v].value & ((1 << pm.stv_bits) - 1), pm.stv_bits)
+            for v in g.nodes()
+        }
+        stv_labels = stv_round3(g, self.commit_forest, stv_coins, pm.t)
+        # node names drawn by the verifier
+        names = {
+            v: (coins[v].value >> pm.stv_bits) & ((1 << pm.w) - 1)
+            for v in g.nodes()
+        }
+        self.names = names
+        # LR sub-round with re-based coins
+        lr_coins = {
+            v: BitString(*pm.lr_coin2(coins[v].value, coins[v].width))
+            for v in g.nodes()
+        }
+        lr_nodes, lr_edges = self.lr_prover.round3(lr_coins)
+
+        def edge_name(e: Optional[Edge]) -> Optional[int]:
+            if e is None:
+                return None
+            t, h = self.orientation[e]
+            return (names[t] << pm.w) | names[h]
+
+        has_left = {v: False for v in g.nodes()}
+        has_right = {v: False for v in g.nodes()}
+        for e, (t, h) in self.orientation.items():
+            has_right[t] = True
+            has_left[h] = True
+        node_fields = {}
+        for v in g.nodes():
+            node_fields[v] = {
+                "stv": stv_labels[v],
+                "lr": lr_nodes.get(v, {}),
+                "nest": {
+                    "above": edge_name(self.above[v]),
+                    "has_left": has_left[v],
+                    "has_right": has_right[v],
+                },
+            }
+        edge_fields = {}
+        for e in self.non_path:
+            t, h = self.orientation[e]
+            fields = dict(lr_edges.get(e, {}))
+            fields["name_t"] = names[t]
+            fields["name_h"] = names[h]
+            fields["succ"] = edge_name(self.successor[e])
+            edge_fields[e] = fields
+        return node_fields, edge_fields
+
+    def round5(self, coins):
+        lr_nodes = self.lr_prover.round5(coins)
+        return {v: {"lr": f} for v, f in lr_nodes.items()}
+
+
+def _safe_forest_encoding(graph: Graph, forest: RootedForest) -> Dict[int, Label]:
+    """Forest encoding that degrades to empty labels if coloring overflows
+    (can only happen on non-planar no-instances; empty labels reject)."""
+    try:
+        return forest_encoding_labels(graph, forest)
+    except ValueError:
+        return {v: Label() for v in graph.nodes()}
+
+
+# ---------------------------------------------------------------------------
+# the protocol
+# ---------------------------------------------------------------------------
+
+
+class PathOuterplanarityProtocol(DIPProtocol):
+    """Theorem 1.2."""
+
+    name = "path-outerplanarity"
+    designed_rounds = 5
+
+    def __init__(self, c: int = 2):
+        self.c = c
+
+    def honest_prover(self, instance) -> PathOuterplanarityProver:
+        return HonestPathOuterplanarityProver(instance)
+
+    # -- label formats -------------------------------------------------------
+
+    def _r1_node(self, pm, fields) -> Label:
+        lbl = Label()
+        commit = fields.get("commit")
+        lbl.sub("commit", commit if isinstance(commit, Label) else None)
+        lbl.sub("lr", self._lr_r1_node(pm, fields.get("lr") or {}))
+        return lbl
+
+    def _lr_r1_node(self, pm, f) -> Optional[Label]:
+        if not f:
+            return None
+        lbl = Label().uint("idx", f["idx"], pm.lr.index_width)
+        if pm.lr.n_blocks > 1:
+            lbl.uint("x1bit", f.get("x1bit", 0), 1)
+            lbl.uint("x2bit", f.get("x2bit", 0), 1)
+            lbl.uint("side", f.get("side", 0), 2)
+            if "M" in f:
+                lbl.uint("M", f["M"], pm.lr.index_width)
+        return lbl
+
+    def _r1_edge(self, pm, f) -> Label:
+        lbl = Label().flag("inner", f.get("inner", True))
+        if not f.get("inner", True):
+            lbl.uint("I", f["I"], pm.lr.index_width)
+        lbl.flag("fwd", f.get("fwd", False))
+        lbl.flag("ltail", f.get("ltail", False))
+        lbl.flag("lhead", f.get("lhead", False))
+        return lbl
+
+    def _r3_node(self, pm, f) -> Label:
+        lbl = Label()
+        stv = f.get("stv")
+        lbl.sub("stv", stv if isinstance(stv, Label) else None)
+        lr = f.get("lr") or {}
+        lr_lbl = None
+        if lr:
+            lr_lbl = Label().field_elem("rb", lr["rb"], pm.lr.p)
+            if pm.lr.n_blocks > 1:
+                for key in ("r", "rp", "pfx2_r", "sfx1_r", "pfx1_rp"):
+                    lr_lbl.field_elem(key, lr[key], pm.lr.p)
+        lbl.sub("lr", lr_lbl)
+        nest = f.get("nest") or {}
+        nest_lbl = (
+            Label()
+            .maybe("above", nest.get("above"), 2 * pm.w)
+            .flag("has_left", nest.get("has_left", False))
+            .flag("has_right", nest.get("has_right", False))
+        )
+        lbl.sub("nest", nest_lbl)
+        return lbl
+
+    def _r3_edge(self, pm, f) -> Label:
+        lbl = Label()
+        if "jval" in f:
+            lbl.field_elem("jval", f["jval"], pm.lr.p)
+        lbl.uint("name_t", f["name_t"], pm.w)
+        lbl.uint("name_h", f["name_h"], pm.w)
+        lbl.maybe("succ", f.get("succ"), 2 * pm.w)
+        return lbl
+
+    def _r5_node(self, pm, f) -> Label:
+        lbl = Label()
+        lr = f.get("lr") or {}
+        lr_lbl = None
+        if lr:
+            lr_lbl = Label()
+            for key in ("rq0", "rq1", "A0", "A1", "B0", "B1"):
+                lr_lbl.field_elem(key, lr[key], pm.lr.p2)
+        lbl.sub("lr", lr_lbl)
+        return lbl
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, instance, prover=None, rng=None) -> RunResult:
+        g = instance.graph
+        pm = PathOuterplanarityParams(g.n, self.c)
+        sim = _safe_simulation(g)
+        prover = (prover or self.honest_prover(instance)).bind(pm, sim)
+        interaction = Interaction(g, rng)
+
+        emitted_setup = [False]
+
+        def emit(node_labels, edge_labels):
+            if sim is not None:
+                folded = sim.fold_round(
+                    {norm_edge(*e): l for e, l in edge_labels.items()
+                     if norm_edge(*e) in sim.assignment}
+                )
+                setup = None
+                if not emitted_setup[0]:
+                    setup = sim.setup_labels()
+                    emitted_setup[0] = True
+                merged = {}
+                for v in g.nodes():
+                    lbl = Label()
+                    lbl.sub("node", node_labels.get(v))
+                    lbl.sub("edges", folded.get(v))
+                    if setup is not None:
+                        lbl.sub("forests", setup[v])
+                    merged[v] = lbl
+                node_labels = merged
+            interaction.prover_round(node_labels, edge_labels)
+
+        # round 1
+        n1, e1 = prover.round1()
+        try:
+            labels1 = {v: self._r1_node(pm, f) for v, f in n1.items()}
+            elabels1 = {e: self._r1_edge(pm, f) for e, f in e1.items()}
+        except (ValueError, KeyError) as exc:
+            raise ProtocolError(f"malformed round-1 message: {exc}") from exc
+        emit(labels1, elabels1)
+
+        # round 2 coins: widths depend on round-1 claims (all local)
+        widths = {}
+        for v in g.nodes():
+            w = pm.stv_bits + pm.w
+            lr1 = labels1.get(v, Label()).get("lr")
+            if lr1 is not None and lr1.get("idx") == 1:
+                w += pm.lr.fw
+            commit = labels1.get(v, Label()).get("commit")
+            if commit is not None and commit.get("is_root"):
+                w += 2 * pm.lr.fw
+            widths[v] = w
+        coins2 = interaction.verifier_round(widths)
+
+        # round 3
+        n3, e3 = prover.round3(coins2)
+        try:
+            labels3 = {v: self._r3_node(pm, f) for v, f in n3.items()}
+            elabels3 = {e: self._r3_edge(pm, f) for e, f in e3.items()}
+        except (ValueError, KeyError) as exc:
+            raise ProtocolError(f"malformed round-3 message: {exc}") from exc
+        emit(labels3, elabels3)
+
+        # round 4 coins: LR session points for claimed block leaders
+        widths4 = {}
+        if pm.lr.n_blocks > 1:
+            for v in g.nodes():
+                lr1 = labels1.get(v, Label()).get("lr")
+                if lr1 is not None and lr1.get("idx") == 1:
+                    widths4[v] = 2 * pm.lr.fw2
+        coins4 = interaction.verifier_round(widths4)
+
+        # round 5
+        n5 = prover.round5(coins4) if pm.lr.n_blocks > 1 else {}
+        try:
+            labels5 = {v: self._r5_node(pm, f) for v, f in n5.items()}
+        except (ValueError, KeyError) as exc:
+            raise ProtocolError(f"malformed round-5 message: {exc}") from exc
+        emit(labels5, {})
+
+        checker = _make_checker(pm)
+        return interaction.decide(
+            checker, inputs={}, protocol_name=self.name, meta={"params": pm}
+        )
+
+
+def _safe_simulation(graph: Graph) -> Optional[EdgeLabelSimulation]:
+    try:
+        return EdgeLabelSimulation(graph)
+    except ValueError:
+        # arboricity > 3 (certainly non-planar): partial coverage -- edges
+        # beyond three forests stay unaccountable, and verifiers reject them
+        return _PartialSimulation(graph)
+
+
+class _PartialSimulation(EdgeLabelSimulation):
+    """Best-effort 3-forest cover for graphs of arboricity > 3."""
+
+    def __init__(self, graph: Graph):
+        from ..graphs.spanning import spanning_forest, forest_partition_assignment
+
+        self.graph = graph
+        remaining = graph.copy()
+        forests = []
+        for _ in range(N_FORESTS):
+            forest = spanning_forest(remaining)
+            forests.append(forest)
+            for u, p in forest.parent.items():
+                remaining.remove_edge(u, p)
+        self.forests = forests
+        self.assignment = {}
+        for fi, forest in enumerate(forests):
+            for child, parent in forest.parent.items():
+                self.assignment[norm_edge(child, parent)] = (fi, child)
+
+
+# ---------------------------------------------------------------------------
+# the local decision
+# ---------------------------------------------------------------------------
+
+
+def _make_checker(pm: PathOuterplanarityParams):
+    def check(view: NodeView) -> bool:
+        return check_path_outerplanarity_node(pm, view)
+
+    return check
+
+
+def _sub(label: Label, name: str) -> Optional[Label]:
+    value = label.get(name)
+    return value if isinstance(value, Label) else None
+
+
+def _unwrap(label: Label) -> Label:
+    inner = label.get("node")
+    return inner if isinstance(inner, Label) else label
+
+
+def check_path_outerplanarity_node(  # noqa: C901
+    pm: PathOuterplanarityParams, view: NodeView
+) -> bool:
+    if pm.n == 1:
+        return True
+    wrapped_r1 = view.own(0)
+    r1 = _unwrap(wrapped_r1)
+    r3 = _unwrap(view.own(1))
+    r5 = _unwrap(view.own(2))
+    nbr = lambda i, port: _unwrap(view.neighbor(i, port))
+
+    # ---- 1. decode the committed path ----
+    commit = _sub(r1, "commit")
+    if commit is None:
+        return False
+    nbr_commits = []
+    for port in view.ports():
+        c = _sub(nbr(0, port), "commit")
+        if c is None:
+            return False
+        nbr_commits.append(c)
+    decoded = decode_forest_view(commit, nbr_commits)
+    if decoded is None or len(decoded.children_ports) > 1:
+        return False
+    left_port = decoded.parent_port
+    right_port = decoded.children_ports[0] if decoded.children_ports else None
+
+    # ---- 2. spanning-tree verification of the commitment ----
+    stv_own = _sub(r3, "stv")
+    if stv_own is None:
+        return False
+    stv_neighbors = []
+    for port in view.ports():
+        s = _sub(nbr(1, port), "stv")
+        if s is None:
+            return False
+        stv_neighbors.append(s)
+    stv_coins = BitString(
+        view.coins[0].value & ((1 << pm.stv_bits) - 1), pm.stv_bits
+    )
+    if not stv_check(decoded, stv_coins, stv_own, stv_neighbors, pm.t):
+        return False
+
+    # ---- 3. derive port kinds (path + claimed orientations) ----
+    forest_views = _decode_simulation_forests(view, wrapped_r1)
+    kinds: List[str] = []
+    for port in view.ports():
+        if port == left_port:
+            kinds.append(PATH_LEFT)
+            continue
+        if port == right_port:
+            kinds.append(PATH_RIGHT)
+            continue
+        e1 = view.edge_labels[0][port]
+        if "fwd" not in e1:
+            return False
+        accountable_is_me = _is_accountable(forest_views, port)
+        if accountable_is_me is None:
+            return False  # edge not covered by the arboricity partition
+        fwd = e1["fwd"]
+        i_am_tail = (fwd and accountable_is_me) or (not fwd and not accountable_is_me)
+        kinds.append(OUT if i_am_tail else IN)
+
+    # ---- 4. the LR-sorting stage over the committed path ----
+    lr1, lr3, lr5 = _sub(r1, "lr"), _sub(r3, "lr"), _sub(r5, "lr")
+    if lr1 is None or lr3 is None:
+        return False
+    if pm.lr.n_blocks > 1 and lr5 is None:
+        return False
+    lr_nbrs = []
+    for i in range(3):
+        row = []
+        for port in view.ports():
+            row.append(_sub(nbr(i, port), "lr") or Label())
+        lr_nbrs.append(row)
+    coin2, _w = pm.lr_coin2(view.coins[0].value, view.coins[0].width)
+    slice_ = LRNodeSlice(
+        tuple(kinds),
+        [lr1, lr3, lr5 or Label()],
+        lr_nbrs,
+        [view.edge_labels[i] for i in range(3)],
+        coin2,
+        view.coins[1].value,
+    )
+    if not lr_check_node(pm.lr, slice_):
+        return False
+
+    # ---- 5. nesting verification ----
+    return _check_nesting(pm, view, kinds, left_port, right_port)
+
+
+def _decode_simulation_forests(view: NodeView, wrapped_r1: Label):
+    """Decode the Lemma-2.4 forest encodings from the round-1 setup."""
+    setup = _sub(wrapped_r1, "forests")
+    if setup is None:
+        return None
+    nbr_setups = []
+    for port in view.ports():
+        s = _sub(view.neighbor(0, port), "forests")
+        if s is None:
+            return None
+        nbr_setups.append(s)
+    out = []
+    for i in range(N_FORESTS):
+        own_enc = _sub(setup, f"forest{i}")
+        if own_enc is None:
+            return None
+        encs = []
+        for s in nbr_setups:
+            e = _sub(s, f"forest{i}")
+            if e is None:
+                return None
+            encs.append(e)
+        out.append(decode_forest_view(own_enc, encs))
+    return out
+
+
+def _is_accountable(forest_views, port: int) -> Optional[bool]:
+    """True if this node is the accountable (child) endpoint of the edge
+    behind ``port``; None if no forest covers the edge."""
+    if forest_views is None:
+        return None
+    for fv in forest_views:
+        if fv is None:
+            continue
+        if fv.parent_port == port:
+            return True
+        if port in fv.children_ports:
+            return False
+    return None
+
+
+def _check_nesting(  # noqa: C901
+    pm: PathOuterplanarityParams,
+    view: NodeView,
+    kinds: Sequence[str],
+    left_port: Optional[int],
+    right_port: Optional[int],
+) -> bool:
+    w = pm.w
+    own_name = (view.coins[0].value >> pm.stv_bits) & ((1 << w) - 1)
+    nbr = lambda i, port: _unwrap(view.neighbor(i, port))
+
+    def above_of(port: Optional[int]):
+        """above() of a neighbor node; 'missing' on malformed labels."""
+        if port is None:
+            return "missing"
+        nest = _sub(nbr(1, port), "nest")
+        if nest is None or "above" not in nest:
+            return "missing"
+        return nest["above"]
+
+    def nest_of(port: int) -> Optional[Label]:
+        return _sub(nbr(1, port), "nest")
+
+    own_nest = _sub(_unwrap(view.own(1)), "nest")
+    if own_nest is None or any(
+        k not in own_nest for k in ("above", "has_left", "has_right")
+    ):
+        return False
+    own_above = own_nest["above"]
+
+    rights: List[Tuple[int, Optional[int], bool, bool]] = []
+    lefts: List[Tuple[int, Optional[int], bool, bool]] = []
+    for port, kind in enumerate(kinds):
+        if kind not in (OUT, IN):
+            continue
+        e1 = view.edge_labels[0][port]
+        e3 = view.edge_labels[1][port]
+        need = ("ltail", "lhead")
+        if any(k not in e1 for k in need):
+            return False
+        if any(k not in e3 for k in ("name_t", "name_h", "succ")):
+            return False
+        name = (e3["name_t"] << w) | e3["name_h"]
+        succ = e3["succ"]
+        # own coin must appear on the right side of the name
+        if kind == OUT and e3["name_t"] != own_name:
+            return False
+        if kind == IN and e3["name_h"] != own_name:
+            return False
+        entry = (name, succ, bool(e1["ltail"]), bool(e1["lhead"]))
+        (rights if kind == OUT else lefts).append(entry)
+
+    # endpoints of the path cannot have edges beyond them
+    if right_port is None and rights:
+        return False
+    if left_port is None and lefts:
+        return False
+    # the advertised has_left / has_right bits must be truthful
+    if own_nest["has_left"] != bool(lefts) or own_nest["has_right"] != bool(rights):
+        return False
+    # exactly one longest mark per side; unmarked edges marked on the other end
+    if rights:
+        if sum(1 for e in rights if e[2]) != 1:
+            return False
+        if any(not e[2] and not e[3] for e in rights):
+            return False
+    if lefts:
+        if sum(1 for e in lefts if e[3]) != 1:
+            return False
+        if any(not e[3] and not e[2] for e in lefts):
+            return False
+
+    # chain conditions (2)-(5)
+    def chain_ok(entries, start_above, longest_flag_index) -> bool:
+        """Is there an ordering e1..ek with name(e1)=start_above,
+        succ(e_i)=name(e_{i+1}), e_k longest-marked, succ(e_k)=own_above?"""
+        if start_above == "missing":
+            return False
+        k = len(entries)
+        used = [False] * k
+        budget = [4096]
+
+        def rec(expected, count) -> bool:
+            if budget[0] <= 0:
+                return False
+            budget[0] -= 1
+            if count == k:
+                return True
+            for i in range(k):
+                if used[i] or entries[i][0] != expected:
+                    continue
+                is_last = count + 1 == k
+                marked = entries[i][2] if longest_flag_index == 0 else entries[i][3]
+                if is_last:
+                    if not marked or entries[i][1] != own_above:
+                        continue
+                else:
+                    if marked or entries[i][1] is None:
+                        continue
+                used[i] = True
+                nxt = entries[i][1] if not is_last else None
+                if rec(nxt, count + 1):
+                    used[i] = False
+                    return True
+                used[i] = False
+            return False
+
+        return rec(start_above, 0)
+
+    # right-side consistency toward the right path neighbor (condition 4):
+    # with right edges, the chain starts at above(u); without, the above
+    # values must agree unless an edge ends exactly at u (u.has_left, in
+    # which case u's own condition-5 check covers the boundary)
+    if rights:
+        if not chain_ok(rights, above_of(right_port), 0):
+            return False
+    elif right_port is not None:
+        u_nest = nest_of(right_port)
+        if u_nest is None or "has_left" not in u_nest:
+            return False
+        if not u_nest["has_left"]:
+            if above_of(right_port) == "missing" or above_of(right_port) != own_above:
+                return False
+    # left-side consistency (condition 5): the chain of left edges starts
+    # at above(w) of the left path neighbor
+    if lefts and not chain_ok(lefts, above_of(left_port), 1):
+        return False
+    return True

@@ -1,0 +1,143 @@
+"""Theorem 1.4: planar embedding verification in 5 rounds, O(log log n) bits.
+
+The reduction of Section 7: the prover commits a rooted spanning tree T
+(Lemma 2.3 encoding, verified by Lemma 2.5); every node then *derives* its
+copies in the Euler-tour graph h(G, T, rho) from T and its local rotation
+rho_v, and the path-outerplanarity protocol of Theorem 1.2 is simulated on
+h.  Each original node carries the labels of a constant number of copies
+(its own x_0 and x_chi plus, for i >= 1, x_i(v) rides on the i-th child),
+so the proof size stays O(log log n).
+
+Two host-level facts are checked deterministically by the nodes (they are
+functions of the committed T, the input rho, and the sub-run's verified
+chains, not of extra prover messages):
+
+- the committed Hamiltonian path of the sub-run *is* the Euler tour
+  P(G, T, rho) -- the path is derived, not chosen;
+- the per-copy rotation-consistency condition
+  (:func:`~repro.protocols.euler_reduction.rotation_order_consistent`):
+  the nesting order of a copy's Q edges matches the clockwise segment of
+  rho_v it came from.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..core.network import Graph
+from ..core.protocol import DIPProtocol
+from ..graphs.spanning import bfs_spanning_tree, RootedForest
+from ..primitives.forest_encoding import FOREST_LABEL_BITS
+from ..primitives.spanning_tree_verification import STV_ELEM_BITS
+from .composition import CompositeRunResult, SubRun, combine
+from .euler_reduction import build_euler_reduction, rotation_order_consistent
+from .instances import (
+    PathOuterplanarInstance,
+    PlanarEmbeddingInstance,
+    SpanningSubgraphInstance,
+)
+from .path_outerplanarity import (
+    HonestPathOuterplanarityProver,
+    PathOuterplanarityProtocol,
+)
+from .spanning_tree import SpanningTreeVerificationProtocol
+
+
+class PlanarEmbeddingProver:
+    """Hooks: the spanning tree to commit and the sub-run prover factory."""
+
+    def __init__(self, instance: PlanarEmbeddingInstance):
+        self.instance = instance
+
+    def spanning_tree(self) -> RootedForest:
+        return bfs_spanning_tree(self.instance.graph, 0)
+
+    def sub_prover(self, sub_instance: PathOuterplanarInstance):
+        return HonestPathOuterplanarityProver(sub_instance)
+
+
+class PlanarEmbeddingProtocol(DIPProtocol):
+    """Theorem 1.4."""
+
+    name = "planar-embedding"
+    designed_rounds = 5
+
+    def __init__(self, c: int = 2, stv_repetitions: int = 6):
+        self.c = c
+        self.stv_repetitions = stv_repetitions
+        self.sub_protocol = PathOuterplanarityProtocol(c)
+
+    def honest_prover(self, instance) -> PlanarEmbeddingProver:
+        return PlanarEmbeddingProver(instance)
+
+    def execute(
+        self,
+        instance: PlanarEmbeddingInstance,
+        prover: Optional[PlanarEmbeddingProver] = None,
+        rng: Optional[random.Random] = None,
+    ) -> CompositeRunResult:
+        rng = rng or random.Random()
+        g = instance.graph
+        prover = prover or self.honest_prover(instance)
+        tree = prover.spanning_tree()
+        root = tree.roots()[0] if tree.roots() else 0
+
+        sub_runs: List[SubRun] = []
+        host_ok = True
+        rejecting: List[int] = []
+
+        # -- spanning-tree commitment + verification on G (rounds 1-3) ----
+        stv = SpanningTreeVerificationProtocol(
+            self.stv_repetitions, enforce_instance_edges=False
+        )
+        tree_edges = frozenset(
+            (min(u, v), max(u, v)) for u, v in tree.edges()
+        )
+        stv_instance = SpanningSubgraphInstance(g, tree_edges)
+        from .spanning_tree import STVProver
+
+        stv_run = stv.execute(
+            stv_instance,
+            prover=STVProver(g, tree),
+            rng=random.Random(rng.getrandbits(64)),
+        )
+        sub_runs.append(
+            SubRun("stv", stv_run, {v: (v,) for v in g.nodes()})
+        )
+        if not tree.is_spanning_tree_of(g):
+            host_ok = False  # honest machinery could not find a tree
+
+        # -- the Euler-tour reduction (derived, deterministic) -------------
+        reduction = build_euler_reduction(g, tree, instance.rotations, root)
+        if not rotation_order_consistent(
+            g, tree, instance.rotations, root, reduction
+        ):
+            host_ok = False
+            rejecting.extend(g.nodes())
+
+        sub_instance = PathOuterplanarInstance(
+            reduction.h, witness_path=list(reduction.path)
+        )
+        sub_prover = prover.sub_prover(sub_instance)
+        sub_run = self.sub_protocol.execute(
+            sub_instance, prover=sub_prover, rng=random.Random(rng.getrandbits(64))
+        )
+        # the committed path must BE the derived Euler tour
+        committed = getattr(sub_prover, "path", None)
+        if committed != list(reduction.path):
+            host_ok = False
+        node_map = {
+            cid: tuple(hosts)
+            for cid, hosts in reduction.hosts_of_copy().items()
+        }
+        sub_runs.append(SubRun("euler-path-outerplanarity", sub_run, node_map))
+
+        return combine(
+            self.name,
+            g.n,
+            sub_runs,
+            host_ok=host_ok,
+            host_rejecting=rejecting,
+            meta={"h_nodes": reduction.h.n, "tree_root": root},
+        )

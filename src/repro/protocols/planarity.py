@@ -1,0 +1,93 @@
+"""Theorem 1.5: planarity in 5 rounds, O(log log n + log Delta) bits.
+
+Lemma 7.2: the prover computes a combinatorial planar embedding of G (our
+from-scratch left-right algorithm), ships the rotation values rho_v(e) of
+both endpoints on each edge -- O(log Delta) bits per edge, folded onto the
+arboricity-forest child endpoints per Lemma 2.4 -- and the planar-embedding
+protocol of Theorem 1.4 verifies the shipped embedding.
+
+If G is not planar, no valid embedding exists; whatever rotations the
+prover ships, the embedding protocol rejects w.h.p.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..core.labels import uint_width
+from ..core.network import Graph
+from ..core.protocol import DIPProtocol
+from ..graphs.embedding import RotationSystem
+from ..graphs.planarity import find_planar_embedding
+from ..primitives.forest_encoding import FOREST_LABEL_BITS
+from .composition import CompositeRunResult, combine
+from .instances import PlanarEmbeddingInstance, PlanarityInstance
+from .planar_embedding import PlanarEmbeddingProtocol, PlanarEmbeddingProver
+
+
+class PlanarityProver:
+    """Hook: which rotation system to ship (adversaries override)."""
+
+    def __init__(self, instance: PlanarityInstance):
+        self.instance = instance
+
+    def rotations(self) -> RotationSystem:
+        emb = find_planar_embedding(self.instance.graph)
+        if emb is not None:
+            return emb
+        # non-planar: no valid embedding exists; ship sorted rotations
+        return RotationSystem.from_orders(
+            self.instance.graph.n,
+            {
+                v: self.instance.graph.neighbors(v)
+                for v in self.instance.graph.nodes()
+                if self.instance.graph.degree(v) > 0
+            },
+        )
+
+
+class PlanarityProtocol(DIPProtocol):
+    """Theorem 1.5."""
+
+    name = "planarity"
+    designed_rounds = 5
+
+    def __init__(self, c: int = 2):
+        self.c = c
+        self.embedding_protocol = PlanarEmbeddingProtocol(c)
+
+    def honest_prover(self, instance) -> PlanarityProver:
+        return PlanarityProver(instance)
+
+    def execute(
+        self,
+        instance: PlanarityInstance,
+        prover: Optional[PlanarityProver] = None,
+        rng: Optional[random.Random] = None,
+    ) -> CompositeRunResult:
+        rng = rng or random.Random()
+        g = instance.graph
+        prover = prover or self.honest_prover(instance)
+        rotations = prover.rotations()
+        emb_instance = PlanarEmbeddingInstance(g, rotations)
+        result = self.embedding_protocol.execute(
+            emb_instance, rng=random.Random(rng.getrandbits(64))
+        )
+        # rotation-transfer cost: each edge carries (rho_u(e), rho_v(e));
+        # folded onto the child endpoint of its arboricity forest, a node
+        # carries at most 3 such pairs plus the O(1)-bit forest advice
+        delta = max(1, g.max_degree())
+        per_edge = 2 * uint_width(delta)
+        transfer_bits: Dict[int, int] = {
+            v: 3 * per_edge + 3 * FOREST_LABEL_BITS for v in g.nodes()
+        }
+        return combine(
+            self.name,
+            g.n,
+            result.sub_runs,
+            host_ok=result.accepted,
+            host_rejecting=result.rejecting_nodes,
+            extra_bits=[transfer_bits],
+            meta={"delta": delta, "rotation_bits_per_edge": per_edge},
+        )

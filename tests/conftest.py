@@ -1,0 +1,40 @@
+"""Shared helpers for the test suite."""
+
+import random
+
+import pytest
+
+from repro.core.network import Graph, norm_edge
+from repro.graphs.generators import random_path_outerplanar
+from repro.protocols.instances import LRSortingInstance
+
+
+def make_lr_instance(n, rng, flip_edges=0, density=0.8):
+    """A random LR-sorting instance; ``flip_edges`` back edges make it a
+    no-instance."""
+    g, path = random_path_outerplanar(n, rng, density=density)
+    pos = {v: i for i, v in enumerate(path)}
+    path_edges = {norm_edge(path[i], path[i + 1]) for i in range(n - 1)}
+    orientation = {}
+    non_path = [e for e in g.edges() if e not in path_edges]
+    rng.shuffle(non_path)
+    for k, (u, v) in enumerate(non_path):
+        t, h = (u, v) if pos[u] < pos[v] else (v, u)
+        if k < flip_edges:
+            t, h = h, t
+        orientation[norm_edge(u, v)] = (t, h)
+    return LRSortingInstance(g, path, orientation)
+
+
+def nx_graph(g: Graph):
+    import networkx as nx
+
+    out = nx.Graph()
+    out.add_nodes_from(range(g.n))
+    out.add_edges_from(g.edges())
+    return out
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)

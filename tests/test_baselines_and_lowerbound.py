@@ -1,0 +1,190 @@
+"""Baselines (one-round Theta(log n)) and the Theorem-1.8 lower bound."""
+
+import math
+import random
+
+import pytest
+
+from repro.graphs.generators import (
+    add_crossing_chord,
+    random_nonplanar,
+    random_path_outerplanar,
+    random_planar,
+)
+from repro.lowerbound import (
+    CutAndPasteAttack,
+    TruncatedPositionScheme,
+    attack_success_rate,
+    min_resistant_label_size,
+)
+from repro.lowerbound.cut_and_paste import (
+    RandomLabelScheme,
+    SaltedPositionScheme,
+    pigeonhole_bound,
+    views_preserved,
+)
+from repro.protocols.baselines import (
+    PLSPathOuterplanarityProtocol,
+    PLSPlanarityProtocol,
+    TrivialLRSortingProtocol,
+)
+from repro.protocols.instances import PathOuterplanarInstance, PlanarityInstance
+
+from conftest import make_lr_instance
+
+
+class TestPLSPathOuterplanarity:
+    def test_completeness(self):
+        rng = random.Random(0)
+        pls = PLSPathOuterplanarityProtocol()
+        for t in range(30):
+            n = rng.randint(2, 50)
+            g, path = random_path_outerplanar(n, rng, density=0.7)
+            res = pls.execute(PathOuterplanarInstance(g, witness_path=path))
+            assert res.accepted
+            assert res.n_rounds == 1
+
+    def test_soundness(self):
+        rng = random.Random(1)
+        pls = PLSPathOuterplanarityProtocol()
+        for t in range(20):
+            g, path = random_path_outerplanar(30, rng, density=0.7)
+            bad = add_crossing_chord(g, path, rng)
+            res = pls.execute(PathOuterplanarInstance(bad, witness_path=path))
+            assert not res.accepted
+
+    def test_label_size_grows_with_log_n(self):
+        rng = random.Random(2)
+        pls = PLSPathOuterplanarityProtocol()
+        sizes = {}
+        for n in (64, 4096):
+            g, path = random_path_outerplanar(n, rng)
+            sizes[n] = pls.execute(
+                PathOuterplanarInstance(g, witness_path=path)
+            ).proof_size_bits
+        # 3 positions per label: exactly 3 bits per doubling
+        assert sizes[4096] - sizes[64] == 3 * 6
+
+
+class TestTrivialLR:
+    def test_complete_and_sound(self):
+        rng = random.Random(3)
+        pls = TrivialLRSortingProtocol()
+        for t in range(10):
+            assert pls.execute(make_lr_instance(60, rng)).accepted
+            assert not pls.execute(make_lr_instance(60, rng, flip_edges=1)).accepted
+
+    def test_one_round_log_n_bits(self):
+        rng = random.Random(4)
+        pls = TrivialLRSortingProtocol()
+        res = pls.execute(make_lr_instance(1024, rng))
+        assert res.n_rounds == 1
+        assert res.proof_size_bits == 10
+
+
+class TestPLSPlanarity:
+    def test_complete_and_sound(self):
+        rng = random.Random(5)
+        pls = PLSPlanarityProtocol()
+        for t in range(5):
+            g = random_planar(rng.randint(5, 40), rng)
+            assert pls.execute(PlanarityInstance(g), rng=random.Random(t)).accepted
+        g = random_nonplanar(30, rng)
+        assert not pls.execute(PlanarityInstance(g), rng=random.Random(0)).accepted
+
+
+class TestExponentialGap:
+    def test_dip_beats_pls_growth(self):
+        """The headline: across 5 doublings of n, the 5-round DIP's size is
+        nearly flat while the 1-round PLS grows by exactly 3 bits per
+        doubling (its labels hold 3 explicit positions)."""
+        from repro.protocols.path_outerplanarity import PathOuterplanarityProtocol
+
+        rng = random.Random(6)
+        dip = PathOuterplanarityProtocol(c=2)
+        pls = PLSPathOuterplanarityProtocol()
+        growth = {}
+        for name, proto in (("dip", dip), ("pls", pls)):
+            sizes = []
+            for n in (512, 16384):
+                g, path = random_path_outerplanar(n, rng, density=0.3)
+                inst = PathOuterplanarInstance(g, witness_path=path)
+                sizes.append(
+                    proto.execute(inst, rng=random.Random(n)).proof_size_bits
+                )
+            growth[name] = sizes[1] - sizes[0]
+        assert growth["pls"] == 3 * 5  # 3 bits x 5 doublings, like clockwork
+        assert growth["dip"] < growth["pls"]  # loglog: far less than linear
+
+
+class TestCutAndPaste:
+    def test_surgery_preserves_views_and_breaks_property(self):
+        attack = CutAndPasteAttack(128)
+        result = attack.run(TruncatedPositionScheme(4), random.Random(0))
+        assert result is not None
+        assert views_preserved(result, 128)
+        assert not result.graph.is_connected()  # two disjoint cycles
+        comps = result.graph.connected_components()
+        assert len(comps) == 2
+        for comp in comps:
+            assert all(result.graph.degree(v) == 2 for v in comp)
+
+    def test_full_width_positions_resist(self):
+        n = 128
+        scheme = TruncatedPositionScheme(7)  # log2(128) bits
+        assert attack_success_rate(scheme, n, trials=5) == 0.0
+
+    def test_min_resistant_size_is_log_n(self):
+        for n in (64, 256, 1024):
+            m = min_resistant_label_size(TruncatedPositionScheme, n, trials=3)
+            assert m == int(math.log2(n))
+
+    def test_randomized_schemes_do_not_help(self):
+        """Theorem 1.8's strengthening: shared randomness cannot rescue a
+        short-label scheme -- the attack wins for every fixed seed."""
+        assert attack_success_rate(SaltedPositionScheme(4), 256, trials=25) == 1.0
+        assert attack_success_rate(RandomLabelScheme(3), 256, trials=25) == 1.0
+
+    def test_pigeonhole_bound_scales(self):
+        assert pigeonhole_bound(1 << 10) >= 4
+        assert pigeonhole_bound(1 << 20) >= 9
+        assert pigeonhole_bound(1 << 20) <= 10
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            CutAndPasteAttack(4)
+
+
+class TestClusteringAblation:
+    def test_strawman_fooled_by_k5_split(self):
+        from repro.adversaries import (
+            ClusteringScheme,
+            adversarial_clique_partition,
+            k5_with_padding,
+        )
+        from repro.graphs.planarity import is_planar
+
+        rng = random.Random(7)
+        g = k5_with_padding(50, rng)
+        assert not is_planar(g)
+        partition = adversarial_clique_partition(g, range(5), 8, rng)
+        assert ClusteringScheme(8).accepts(g, partition)
+
+    def test_real_protocol_not_fooled(self):
+        from repro.adversaries import k5_with_padding
+        from repro.protocols.planarity import PlanarityProtocol
+
+        rng = random.Random(8)
+        g = k5_with_padding(50, rng)
+        res = PlanarityProtocol(c=2).execute(
+            PlanarityInstance(g), rng=random.Random(0)
+        )
+        assert not res.accepted
+
+    def test_strawman_is_complete_on_planar_graphs(self):
+        from repro.adversaries.clustering import ClusteringScheme, best_partition
+
+        rng = random.Random(9)
+        g = random_planar(40, rng)
+        scheme = ClusteringScheme(8)
+        assert scheme.accepts(g, best_partition(g, 8, rng))

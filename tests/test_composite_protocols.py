@@ -1,0 +1,225 @@
+"""Theorems 1.3-1.7: outerplanarity, embedding, planarity, SP, treewidth-2."""
+
+import random
+
+import pytest
+
+from repro.graphs.generators import (
+    corrupt_rotation,
+    random_biconnected_outerplanar,
+    random_nonplanar,
+    random_outerplanar,
+    random_planar,
+    random_planar_embedding_instance,
+    random_planar_not_outerplanar,
+    random_not_treewidth2,
+    random_series_parallel,
+    random_treewidth2,
+    wheel_graph,
+)
+from repro.protocols.instances import (
+    OuterplanarInstance,
+    PlanarEmbeddingInstance,
+    PlanarityInstance,
+    SeriesParallelInstance,
+    Treewidth2Instance,
+)
+from repro.protocols.outerplanarity import OuterplanarityProtocol
+from repro.protocols.planar_embedding import PlanarEmbeddingProtocol
+from repro.protocols.planarity import PlanarityProtocol
+from repro.protocols.series_parallel import SeriesParallelProtocol
+from repro.protocols.treewidth2 import Treewidth2Protocol
+
+
+class TestOuterplanarity:
+    def test_completeness(self):
+        rng = random.Random(0)
+        proto = OuterplanarityProtocol(c=2)
+        for t in range(12):
+            g = random_outerplanar(rng.randint(3, 60), rng)
+            res = proto.execute(OuterplanarInstance(g), rng=random.Random(t))
+            assert res.accepted, (g.n, res.rejecting_nodes[:5])
+            assert res.n_rounds == 5
+
+    def test_biconnected_instances(self):
+        rng = random.Random(1)
+        proto = OuterplanarityProtocol(c=2)
+        for t in range(6):
+            g, _ = random_biconnected_outerplanar(rng.randint(4, 60), rng)
+            assert proto.execute(OuterplanarInstance(g), rng=random.Random(t)).accepted
+
+    def test_planar_but_not_outerplanar_rejected(self):
+        rng = random.Random(2)
+        proto = OuterplanarityProtocol(c=2)
+        for t in range(10):
+            g = random_planar_not_outerplanar(40, rng)
+            assert not proto.execute(OuterplanarInstance(g), rng=random.Random(t)).accepted
+
+    def test_wheel_rejected(self):
+        proto = OuterplanarityProtocol(c=2)
+        res = proto.execute(OuterplanarInstance(wheel_graph(16)), rng=random.Random(0))
+        assert not res.accepted
+
+    def test_nonplanar_rejected(self):
+        rng = random.Random(3)
+        proto = OuterplanarityProtocol(c=2)
+        g = random_nonplanar(40, rng)
+        assert not proto.execute(OuterplanarInstance(g), rng=random.Random(0)).accepted
+
+    def test_trivial_graphs_accepted(self):
+        from repro.core.network import Graph
+
+        proto = OuterplanarityProtocol(c=2)
+        assert proto.execute(OuterplanarInstance(Graph(1)), rng=random.Random(0)).accepted
+        assert proto.execute(
+            OuterplanarInstance(Graph(2, [(0, 1)])), rng=random.Random(0)
+        ).accepted
+
+
+class TestPlanarEmbedding:
+    def test_completeness(self):
+        rng = random.Random(4)
+        proto = PlanarEmbeddingProtocol(c=2)
+        for t in range(10):
+            g, rot = random_planar_embedding_instance(rng.randint(4, 50), rng)
+            res = proto.execute(PlanarEmbeddingInstance(g, rot), rng=random.Random(t))
+            assert res.accepted
+            assert res.n_rounds == 5
+
+    def test_corrupted_rotations_rejected(self):
+        rng = random.Random(5)
+        proto = PlanarEmbeddingProtocol(c=2)
+        checked = 0
+        for t in range(15):
+            g, rot = random_planar_embedding_instance(rng.randint(6, 40), rng)
+            bad = corrupt_rotation(g, rot, rng)
+            if bad is None:
+                continue
+            checked += 1
+            res = proto.execute(PlanarEmbeddingInstance(g, bad), rng=random.Random(t))
+            assert not res.accepted
+        assert checked >= 5
+
+
+class TestPlanarity:
+    def test_completeness(self):
+        rng = random.Random(6)
+        proto = PlanarityProtocol(c=2)
+        for t in range(10):
+            g = random_planar(rng.randint(4, 60), rng)
+            res = proto.execute(PlanarityInstance(g), rng=random.Random(t))
+            assert res.accepted
+            assert res.n_rounds == 5
+
+    def test_nonplanar_rejected(self):
+        rng = random.Random(7)
+        proto = PlanarityProtocol(c=2)
+        for t in range(8):
+            g = random_nonplanar(40, rng)
+            assert not proto.execute(PlanarityInstance(g), rng=random.Random(t)).accepted
+
+    def test_delta_term_in_proof_size(self):
+        """Theorem 1.5's O(log log n + log Delta): the rotation-transfer
+        bits grow with the max degree."""
+        from repro.graphs.generators import hub_and_cycle
+
+        proto = PlanarityProtocol(c=2)
+        sizes = {}
+        for hub_degree in (4, 64):
+            g = hub_and_cycle(200, hub_degree)
+            res = proto.execute(PlanarityInstance(g), rng=random.Random(0))
+            assert res.accepted
+            sizes[hub_degree] = res.meta["rotation_bits_per_edge"]
+        assert sizes[64] > sizes[4]
+
+
+class TestSeriesParallel:
+    def test_completeness(self):
+        rng = random.Random(8)
+        proto = SeriesParallelProtocol(c=2)
+        for t in range(12):
+            g = random_series_parallel(rng.randint(2, 70), rng)
+            res = proto.execute(SeriesParallelInstance(g), rng=random.Random(t))
+            assert res.accepted, (g.n, res.rejecting_nodes[:5])
+
+    def test_k4_subdivision_rejected(self):
+        rng = random.Random(9)
+        proto = SeriesParallelProtocol(c=2)
+        for t in range(8):
+            g = random_not_treewidth2(40, rng)
+            assert not proto.execute(SeriesParallelInstance(g), rng=random.Random(t)).accepted
+
+    def test_cycle_and_theta(self):
+        from repro.core.network import Graph, cycle_graph
+
+        proto = SeriesParallelProtocol(c=2)
+        assert proto.execute(
+            SeriesParallelInstance(cycle_graph(9)), rng=random.Random(0)
+        ).accepted
+        # theta graph: two nodes joined by three paths
+        theta = Graph(8, [(0, 2), (2, 1), (0, 3), (3, 4), (4, 1), (0, 5), (5, 6), (6, 7), (7, 1)])
+        assert proto.execute(
+            SeriesParallelInstance(theta), rng=random.Random(0)
+        ).accepted
+
+
+class TestTreewidth2:
+    def test_completeness(self):
+        rng = random.Random(10)
+        proto = Treewidth2Protocol(c=2)
+        for t in range(12):
+            g = random_treewidth2(rng.randint(3, 70), rng)
+            res = proto.execute(Treewidth2Instance(g), rng=random.Random(t))
+            assert res.accepted, (g.n, res.rejecting_nodes[:5])
+
+    def test_rejections(self):
+        rng = random.Random(11)
+        proto = Treewidth2Protocol(c=2)
+        for t in range(6):
+            g = random_not_treewidth2(40, rng)
+            assert not proto.execute(Treewidth2Instance(g), rng=random.Random(t)).accepted
+        assert not proto.execute(
+            Treewidth2Instance(wheel_graph(14)), rng=random.Random(0)
+        ).accepted
+
+    def test_outerplanar_graphs_have_tw2(self):
+        rng = random.Random(12)
+        proto = Treewidth2Protocol(c=2)
+        g = random_outerplanar(40, rng)
+        assert proto.execute(Treewidth2Instance(g), rng=random.Random(0)).accepted
+
+
+class TestRoundsAndSizes:
+    @pytest.mark.parametrize(
+        "proto_factory,instance_factory",
+        [
+            (
+                lambda: OuterplanarityProtocol(c=2),
+                lambda n, rng: OuterplanarInstance(random_outerplanar(n, rng)),
+            ),
+            (
+                lambda: SeriesParallelProtocol(c=2),
+                lambda n, rng: SeriesParallelInstance(random_series_parallel(n, rng)),
+            ),
+            (
+                lambda: Treewidth2Protocol(c=2),
+                lambda n, rng: Treewidth2Instance(random_treewidth2(n, rng)),
+            ),
+            (
+                lambda: PlanarityProtocol(c=2),
+                lambda n, rng: PlanarityInstance(random_planar(n, rng)),
+            ),
+        ],
+    )
+    def test_five_rounds_and_flat_growth(self, proto_factory, instance_factory):
+        rng = random.Random(13)
+        proto = proto_factory()
+        sizes = {}
+        for n in (64, 512):
+            inst = instance_factory(n, rng)
+            res = proto.execute(inst, rng=random.Random(n))
+            assert res.accepted
+            assert res.n_rounds == 5
+            sizes[n] = res.proof_size_bits
+        # 3 doublings: far below linear-in-log2(n) growth of the size
+        assert sizes[512] <= sizes[64] * 2 + 120

@@ -1,0 +1,211 @@
+"""Extensions: Lemma 2.6 standalone, Kuratowski witnesses, the round
+ablation, and the CLI."""
+
+import random
+
+import pytest
+
+from repro.core.network import (
+    Graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+)
+from repro.graphs.generators import random_apollonian, random_nonplanar, random_planar
+from repro.graphs.kuratowski import find_kuratowski_subdivision
+from repro.graphs.planarity import is_planar
+from repro.graphs.spanning import bfs_spanning_tree
+from repro.protocols.multiset_equality_protocol import (
+    MultisetEqualityInstance,
+    MultisetEqualityProtocol,
+    MultisetEqualityProver,
+)
+
+from conftest import make_lr_instance
+
+
+def _mse_instance(n, rng, tamper=False):
+    g = random_planar(n, rng)
+    tree = bfs_spanning_tree(g, 0)
+    k = 2 * n
+    s1 = {v: [rng.randrange(k * k) for _ in range(rng.randrange(2))] for v in g.nodes()}
+    # s2: the same elements, scattered differently across nodes
+    pool = [x for values in s1.values() for x in values]
+    rng.shuffle(pool)
+    s2 = {v: [] for v in g.nodes()}
+    for x in pool:
+        s2[rng.randrange(n)].append(x)
+    if tamper and pool:
+        victim = next(v for v in g.nodes() if s2[v])
+        s2[victim][0] = (s2[victim][0] + 1) % (k * k)
+    return MultisetEqualityInstance(g, tree, s1, s2, k=k, c=2)
+
+
+class TestMultisetEqualityProtocol:
+    def test_completeness(self):
+        rng = random.Random(0)
+        proto = MultisetEqualityProtocol()
+        for t in range(15):
+            inst = _mse_instance(rng.randint(3, 40), rng)
+            assert inst.is_yes_instance()
+            res = proto.execute(inst, rng=random.Random(t))
+            assert res.accepted
+            assert res.n_rounds == 2
+
+    def test_soundness(self):
+        rng = random.Random(1)
+        proto = MultisetEqualityProtocol()
+        rejected = tested = 0
+        for t in range(40):
+            inst = _mse_instance(rng.randint(4, 30), rng, tamper=True)
+            if inst.is_yes_instance():
+                continue  # tamper collided
+            tested += 1
+            res = proto.execute(inst, rng=random.Random(t))
+            rejected += not res.accepted
+        assert tested >= 20
+        assert rejected >= tested - 1  # soundness error ~ k/p
+
+    def test_proof_size_is_log_k(self):
+        rng = random.Random(2)
+        proto = MultisetEqualityProtocol()
+        inst = _mse_instance(30, rng)
+        res = proto.execute(inst, rng=random.Random(0))
+        from repro.core.labels import field_elem_width
+
+        assert res.proof_size_bits == 3 * field_elem_width(res.meta["p"])
+
+    def test_corrupted_aggregation_caught(self):
+        rng = random.Random(3)
+        proto = MultisetEqualityProtocol()
+
+        class Corruptor(MultisetEqualityProver):
+            def subtree_values(self, z):
+                values = super().subtree_values(z)
+                field = self.instance.field
+                victim = max(values)
+                values[victim]["phi1"] = (values[victim]["phi1"] + 1) % field.p
+                return values
+
+        inst = _mse_instance(20, rng)
+        res = proto.execute(inst, prover=Corruptor(inst), rng=random.Random(0))
+        assert not res.accepted
+
+    def test_instance_validation(self):
+        g = cycle_graph(4)
+        tree = bfs_spanning_tree(g, 0)
+        with pytest.raises(ValueError):
+            MultisetEqualityInstance(g, tree, {0: [0] * 99}, {0: []}, k=3)
+
+
+class TestKuratowski:
+    def test_k5_and_k33(self):
+        for g, kind in ((complete_graph(5), "K5"), (complete_bipartite_graph(3, 3), "K3,3")):
+            w = find_kuratowski_subdivision(g)
+            assert w is not None and w.kind == kind
+            assert w.validate(g)
+
+    def test_planar_graphs_have_no_witness(self):
+        assert find_kuratowski_subdivision(random_apollonian(25, random.Random(0))) is None
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_nonplanar_witnesses(self, seed):
+        rng = random.Random(seed)
+        for _ in range(5):
+            g = random_nonplanar(35, rng)
+            w = find_kuratowski_subdivision(g)
+            assert w is not None
+            assert w.validate(g)
+            # the witness's edges form a non-planar subgraph of g
+            sub = Graph(g.n, w.edges)
+            assert not is_planar(sub)
+
+    def test_dense_random_graphs(self):
+        rng = random.Random(7)
+        checked = 0
+        for _ in range(20):
+            n = 11
+            g = Graph(
+                n,
+                [
+                    (i, j)
+                    for i in range(n)
+                    for j in range(i + 1, n)
+                    if rng.random() < 0.45
+                ],
+            )
+            if is_planar(g):
+                continue
+            checked += 1
+            w = find_kuratowski_subdivision(g)
+            assert w.validate(g)
+        assert checked >= 8
+
+
+class TestRoundTruncationAblation:
+    def test_truncation_is_complete_but_unsound(self):
+        from repro.adversaries import StealthIndexLiarProver
+        from repro.protocols.lr_sorting import LRSortingProtocol
+
+        rng = random.Random(4)
+        full = LRSortingProtocol(c=2)
+        truncated = LRSortingProtocol(c=2, truncate_to_three_rounds=True)
+        # complete
+        for t in range(5):
+            inst = make_lr_instance(100, rng)
+            res = truncated.execute(inst, rng=random.Random(t))
+            assert res.accepted and res.n_rounds == 3
+        # unsound against the stealth liar, unlike the full protocol
+        fooled = caught = 0
+        trials = 20
+        for t in range(trials):
+            inst = make_lr_instance(150, rng, flip_edges=1)
+            prover = StealthIndexLiarProver(inst)
+            fooled += truncated.execute(inst, prover=prover, rng=random.Random(t)).accepted
+            caught += not full.execute(inst, prover=prover, rng=random.Random(t)).accepted
+        assert fooled >= trials // 4
+        assert caught == trials
+
+
+class TestCLI:
+    def test_run_yes_instance(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "series-parallel", "--n", "60", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "accept" in out and "rounds:      5" in out
+
+    def test_run_no_instance(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "planarity", "--n", "50", "--no-instance"]) == 0
+        assert "reject" in capsys.readouterr().out
+
+    def test_attack_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["attack", "--n", "256", "--bits", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "surgery found" in out
+
+    def test_attack_resisted(self, capsys):
+        from repro.cli import main
+
+        assert main(["attack", "--n", "64", "--bits", "6"]) == 1
+
+    def test_edges_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "graph.txt"
+        g = cycle_graph(8)
+        path.write_text("\n".join(f"{u} {v}" for u, v in g.edges()))
+        assert main(["run", "outerplanarity", "--edges", str(path)]) == 0
+        assert "accept" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["sweep", "outerplanarity", "--ns", "32,64,128", "--repeats", "1"]
+        ) == 0
+        assert "proof bits" in capsys.readouterr().out

@@ -1,0 +1,250 @@
+"""Recognition & decomposition algorithms vs oracles and brute force."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.network import Graph, complete_graph, cycle_graph, path_graph
+from repro.graphs.biconnectivity import (
+    articulation_points,
+    biconnected_components,
+    block_cut_tree,
+    component_nodes,
+    is_biconnected,
+)
+from repro.graphs.outerplanar import (
+    brute_force_path_outerplanar,
+    find_path_outerplanar_witness,
+    hamiltonian_cycle_of_biconnected_outerplanar,
+    is_biconnected_outerplanar,
+    is_cycle_with_nested_chords,
+    is_outerplanar,
+    is_path_outerplanar_with,
+    properly_nested,
+)
+from repro.graphs.series_parallel import (
+    is_nested_ear_decomposition,
+    is_series_parallel,
+    nested_ear_decomposition,
+)
+from repro.graphs.treewidth2 import (
+    is_treewidth_at_most_2,
+    is_treewidth_at_most_2_by_reduction,
+)
+
+from conftest import nx_graph
+
+
+def _random_graph(rng, n_max=12):
+    n = rng.randint(1, n_max)
+    p = rng.choice([0.15, 0.3, 0.5])
+    return Graph(
+        n,
+        [
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if rng.random() < p
+        ],
+    )
+
+
+def _nx_outerplanar(g):
+    apex = Graph(g.n + 1, list(g.edges()) + [(g.n, v) for v in range(g.n)])
+    return nx.check_planarity(nx_graph(apex))[0]
+
+
+class TestBiconnectivity:
+    def test_cycle_is_biconnected(self):
+        assert is_biconnected(cycle_graph(5))
+
+    def test_path_is_not(self):
+        assert not is_biconnected(path_graph(5))
+
+    def test_single_edge_counts(self):
+        assert is_biconnected(Graph(2, [(0, 1)]))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_articulation_points_match_networkx(self, seed):
+        rng = random.Random(seed)
+        for _ in range(40):
+            g = _random_graph(rng)
+            expected = set(nx.articulation_points(nx_graph(g)))
+            assert articulation_points(g) == expected
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_biconnected_components_match_networkx(self, seed):
+        rng = random.Random(seed)
+        for _ in range(40):
+            g = _random_graph(rng)
+            got = {frozenset(c) for c in biconnected_components(g)}
+            expected = {
+                frozenset(
+                    (min(u, v), max(u, v)) for u, v in comp
+                )
+                for comp in nx.biconnected_component_edges(nx_graph(g))
+            }
+            assert got == expected
+
+    def test_block_cut_tree_structure(self):
+        # two triangles sharing a node, plus a pendant
+        g = Graph(
+            6, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5)]
+        )
+        bct = block_cut_tree(g)
+        assert len(bct.blocks) == 3
+        assert bct.cut_nodes == {2, 4}
+        root_nodes = bct.block_nodes[bct.root_block]
+        for bi in range(len(bct.blocks)):
+            if bi == bct.root_block:
+                assert bct.separating_node[bi] is None
+            else:
+                assert bct.separating_node[bi] in bct.cut_nodes
+
+
+class TestProperNesting:
+    def test_nested_accepted(self):
+        assert properly_nested(range(6), [(0, 5), (1, 4), (2, 3)])
+
+    def test_shared_endpoints_ok(self):
+        assert properly_nested(range(6), [(0, 5), (0, 3), (3, 5)])
+
+    def test_crossing_rejected(self):
+        assert not properly_nested(range(6), [(0, 3), (2, 5)])
+
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=8))
+    @settings(max_examples=200)
+    def test_matches_bruteforce(self, pairs):
+        edges = [tuple(sorted(p)) for p in pairs if p[0] != p[1]]
+        edges = list(set(edges))
+        expected = not any(
+            a < c < b < d or c < a < d < b
+            for a, b in edges
+            for c, d in edges
+        )
+        assert properly_nested(range(10), edges) == expected
+
+
+class TestOuterplanarity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_apex_oracle(self, seed):
+        rng = random.Random(seed)
+        for _ in range(50):
+            g = _random_graph(rng)
+            if not g.is_connected():
+                continue
+            assert is_outerplanar(g) == _nx_outerplanar(g)
+
+    def test_k4_not_outerplanar(self):
+        assert not is_outerplanar(complete_graph(4))
+
+    def test_hamiltonian_cycle_extraction(self):
+        g = cycle_graph(8)
+        g.add_edge(0, 2)
+        g.add_edge(0, 3)
+        g.add_edge(4, 6)
+        cycle = hamiltonian_cycle_of_biconnected_outerplanar(g)
+        assert cycle is not None
+        assert is_cycle_with_nested_chords(g, cycle)
+
+    def test_hamiltonian_cycle_none_for_k4(self):
+        assert hamiltonian_cycle_of_biconnected_outerplanar(complete_graph(4)) is None
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_extraction_on_random_instances(self, seed):
+        from repro.graphs.generators import random_biconnected_outerplanar
+
+        rng = random.Random(seed)
+        for _ in range(15):
+            g, cycle = random_biconnected_outerplanar(rng.randint(3, 40), rng)
+            got = hamiltonian_cycle_of_biconnected_outerplanar(g)
+            assert got is not None
+            assert is_cycle_with_nested_chords(g, got)
+            assert is_biconnected_outerplanar(g)
+
+
+class TestPathOuterplanarity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_witness_matches_bruteforce(self, seed):
+        rng = random.Random(seed)
+        for _ in range(30):
+            g = _random_graph(rng, n_max=8)
+            if not g.is_connected():
+                continue
+            fast = find_path_outerplanar_witness(g)
+            brute = brute_force_path_outerplanar(g)
+            assert (fast is None) == (brute is None), list(g.edges())
+            if fast is not None:
+                assert is_path_outerplanar_with(g, fast)
+
+    def test_simple_path_is_path_outerplanar(self):
+        g = path_graph(5)
+        w = find_path_outerplanar_witness(g)
+        assert w is not None
+
+    def test_star_is_not(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert find_path_outerplanar_witness(g) is None
+
+
+class TestSeriesParallel:
+    def test_k4_not_sp(self):
+        assert not is_series_parallel(complete_graph(4))
+
+    def test_cycle_is_sp(self):
+        assert is_series_parallel(cycle_graph(7))
+
+    def test_path_is_sp(self):
+        assert is_series_parallel(path_graph(7))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_decomposition_iff_sp(self, seed):
+        rng = random.Random(seed)
+        for _ in range(40):
+            g = _random_graph(rng, n_max=10)
+            if not g.is_connected() or g.n < 2:
+                continue
+            sp = is_series_parallel(g)
+            ears = nested_ear_decomposition(g)
+            assert sp == (ears is not None)
+            if ears is not None:
+                assert is_nested_ear_decomposition(g, ears)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_generator_instances_decompose(self, seed):
+        from repro.graphs.generators import random_series_parallel
+
+        rng = random.Random(seed)
+        for _ in range(10):
+            g = random_series_parallel(rng.randint(2, 60), rng)
+            ears = nested_ear_decomposition(g)
+            assert ears is not None
+            assert is_nested_ear_decomposition(g, ears)
+
+
+class TestTreewidth2:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_characterizations_agree(self, seed):
+        rng = random.Random(seed)
+        for _ in range(50):
+            g = _random_graph(rng)
+            assert is_treewidth_at_most_2(g) == is_treewidth_at_most_2_by_reduction(g)
+
+    def test_k4_has_treewidth_3(self):
+        assert not is_treewidth_at_most_2(complete_graph(4))
+
+    def test_two_tree_has_treewidth_2(self):
+        from repro.graphs.generators import random_two_tree
+
+        g = random_two_tree(20, random.Random(0))
+        assert is_treewidth_at_most_2(g)
+
+    def test_outerplanar_implies_tw2(self):
+        from repro.graphs.generators import random_outerplanar
+
+        rng = random.Random(4)
+        for _ in range(10):
+            g = random_outerplanar(rng.randint(3, 30), rng)
+            assert is_treewidth_at_most_2(g)

@@ -1,0 +1,77 @@
+"""Instance-type validation."""
+
+import pytest
+
+from repro.core.network import Graph, cycle_graph, path_graph
+from repro.graphs.embedding import RotationSystem
+from repro.protocols.instances import (
+    LRSortingInstance,
+    PlanarEmbeddingInstance,
+    SpanningSubgraphInstance,
+)
+
+
+class TestLRSortingInstance:
+    def _simple(self):
+        g = path_graph(4)
+        g.add_edge(0, 2)
+        return g
+
+    def test_valid_instance(self):
+        g = self._simple()
+        inst = LRSortingInstance(g, [0, 1, 2, 3], {(0, 2): (0, 2)})
+        assert inst.is_yes_instance()
+        assert inst.path_edge_set() == frozenset({(0, 1), (1, 2), (2, 3)})
+
+    def test_back_edge_is_no_instance(self):
+        g = self._simple()
+        inst = LRSortingInstance(g, [0, 1, 2, 3], {(0, 2): (2, 0)})
+        assert not inst.is_yes_instance()
+
+    def test_path_must_be_hamiltonian(self):
+        with pytest.raises(ValueError):
+            LRSortingInstance(self._simple(), [0, 1, 2], {(0, 2): (0, 2)})
+
+    def test_path_edges_must_exist(self):
+        with pytest.raises(ValueError):
+            LRSortingInstance(self._simple(), [0, 2, 1, 3], {})
+
+    def test_orientation_must_cover_non_path_edges(self):
+        with pytest.raises(ValueError):
+            LRSortingInstance(self._simple(), [0, 1, 2, 3], {})
+
+    def test_orientation_must_not_cover_path_edges(self):
+        g = self._simple()
+        with pytest.raises(ValueError):
+            LRSortingInstance(
+                g, [0, 1, 2, 3], {(0, 2): (0, 2), (0, 1): (0, 1)}
+            )
+
+    def test_orientation_endpoints_checked(self):
+        g = self._simple()
+        with pytest.raises(ValueError):
+            LRSortingInstance(g, [0, 1, 2, 3], {(0, 2): (0, 3)})
+
+
+class TestPlanarEmbeddingInstance:
+    def test_rotation_must_match_graph(self):
+        g = cycle_graph(4)
+        wrong = RotationSystem.from_orders(4, {v: [0] if v else [1] for v in range(4)})
+        with pytest.raises(ValueError):
+            PlanarEmbeddingInstance(g, wrong)
+
+    def test_valid(self):
+        g = cycle_graph(4)
+        rot = RotationSystem.from_orders(4, {v: list(g.neighbors(v)) for v in range(4)})
+        PlanarEmbeddingInstance(g, rot)  # no raise
+
+
+class TestSpanningSubgraphInstance:
+    def test_yes_instance_predicate(self):
+        g = cycle_graph(5)
+        tree = frozenset({(0, 1), (1, 2), (2, 3), (3, 4)})
+        assert SpanningSubgraphInstance(g, tree).is_yes_instance()
+        assert not SpanningSubgraphInstance(g, g.edge_set()).is_yes_instance()
+        assert not SpanningSubgraphInstance(
+            g, frozenset({(0, 1), (2, 3)})
+        ).is_yes_instance()

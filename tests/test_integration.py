@@ -1,0 +1,116 @@
+"""End-to-end integration: every protocol against every relevant family.
+
+The cross-product matrix: a family that satisfies several properties must
+be accepted by all of their protocols; a family that violates one must be
+rejected by it.
+"""
+
+import random
+
+import pytest
+
+from repro.graphs.generators import (
+    random_biconnected_outerplanar,
+    random_nonplanar,
+    random_outerplanar,
+    random_path_outerplanar,
+    random_planar_not_outerplanar,
+    random_series_parallel,
+)
+from repro.protocols.instances import (
+    OuterplanarInstance,
+    PathOuterplanarInstance,
+    PlanarityInstance,
+    SeriesParallelInstance,
+    Treewidth2Instance,
+)
+from repro.protocols.outerplanarity import OuterplanarityProtocol
+from repro.protocols.path_outerplanarity import PathOuterplanarityProtocol
+from repro.protocols.planarity import PlanarityProtocol
+from repro.protocols.series_parallel import SeriesParallelProtocol
+from repro.protocols.treewidth2 import Treewidth2Protocol
+
+
+def _protocols():
+    return {
+        "outerplanarity": (OuterplanarityProtocol(c=2), OuterplanarInstance),
+        "planarity": (PlanarityProtocol(c=2), PlanarityInstance),
+        "series-parallel": (SeriesParallelProtocol(c=2), SeriesParallelInstance),
+        "treewidth-2": (Treewidth2Protocol(c=2), Treewidth2Instance),
+    }
+
+
+class TestPropertyMatrix:
+    def test_outerplanar_graphs_satisfy_everything(self):
+        """Outerplanar => outerplanar, planar, series-parallel-per-block
+        (treewidth <= 2)."""
+        rng = random.Random(0)
+        for t in range(4):
+            g = random_outerplanar(rng.randint(5, 40), rng)
+            for name, (proto, instance_cls) in _protocols().items():
+                if name == "series-parallel":
+                    continue  # outerplanar graphs need not be 2-terminal SP
+                res = proto.execute(instance_cls(g), rng=random.Random(t))
+                assert res.accepted, (name, g.n)
+
+    def test_path_outerplanar_implies_everything(self):
+        rng = random.Random(1)
+        g, path = random_path_outerplanar(30, rng, density=0.6)
+        assert PathOuterplanarityProtocol(c=2).execute(
+            PathOuterplanarInstance(g, witness_path=path), rng=random.Random(0)
+        ).accepted
+        for name, (proto, instance_cls) in _protocols().items():
+            if name == "series-parallel":
+                continue
+            res = proto.execute(instance_cls(g), rng=random.Random(0))
+            assert res.accepted, name
+
+    def test_biconnected_outerplanar_is_series_parallel(self):
+        rng = random.Random(2)
+        g, _ = random_biconnected_outerplanar(25, rng)
+        res = SeriesParallelProtocol(c=2).execute(
+            SeriesParallelInstance(g), rng=random.Random(0)
+        )
+        assert res.accepted
+
+    def test_k4_subdivision_splits_the_matrix(self):
+        """Planar but neither outerplanar nor treewidth-2."""
+        rng = random.Random(3)
+        g = random_planar_not_outerplanar(35, rng)
+        results = {
+            name: proto.execute(cls(g), rng=random.Random(0)).accepted
+            for name, (proto, cls) in _protocols().items()
+        }
+        assert results["planarity"]
+        assert not results["outerplanarity"]
+        assert not results["treewidth-2"]
+        assert not results["series-parallel"]
+
+    def test_nonplanar_rejected_by_everything(self):
+        rng = random.Random(4)
+        g = random_nonplanar(35, rng)
+        for name, (proto, cls) in _protocols().items():
+            res = proto.execute(cls(g), rng=random.Random(0))
+            assert not res.accepted, name
+
+    def test_series_parallel_graphs_have_treewidth_2(self):
+        rng = random.Random(5)
+        g = random_series_parallel(35, rng)
+        assert Treewidth2Protocol(c=2).execute(
+            Treewidth2Instance(g), rng=random.Random(0)
+        ).accepted
+
+
+class TestReproducibility:
+    def test_runs_are_seed_deterministic(self):
+        rng = random.Random(6)
+        g, path = random_path_outerplanar(30, rng, density=0.5)
+        inst = PathOuterplanarInstance(g, witness_path=path)
+        proto = PathOuterplanarityProtocol(c=2)
+        a = proto.execute(inst, rng=random.Random(42))
+        b = proto.execute(inst, rng=random.Random(42))
+        assert a.accepted == b.accepted
+        assert a.proof_size_bits == b.proof_size_bits
+        coins_a = [r.coins for r in a.transcript.verifier_rounds()]
+        coins_b = [r.coins for r in b.transcript.verifier_rounds()]
+        assert coins_a == coins_b

@@ -1,0 +1,147 @@
+"""Unit tests for bit-accurate labels."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.labels import (
+    BitString,
+    Label,
+    field_elem_width,
+    index_width,
+    uint_width,
+)
+
+
+class TestUintWidth:
+    def test_small_values(self):
+        assert uint_width(0) == 1
+        assert uint_width(1) == 1
+        assert uint_width(2) == 2
+        assert uint_width(3) == 2
+        assert uint_width(4) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            uint_width(-1)
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_value_fits_in_width(self, v):
+        assert v < (1 << uint_width(v))
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_width_is_minimal(self, v):
+        assert v >= (1 << (uint_width(v) - 1))
+
+
+class TestBitString:
+    def test_basic(self):
+        b = BitString(0b101, 3)
+        assert b.bit_length() == 3
+        assert b.value == 5
+
+    def test_zero_width(self):
+        assert BitString(0, 0).bit_length() == 0
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            BitString(8, 3)
+
+    def test_equality_includes_width(self):
+        assert BitString(1, 2) != BitString(1, 3)
+        assert BitString(1, 2) == BitString(1, 2)
+
+    def test_random_has_exact_width(self):
+        import random
+
+        rng = random.Random(1)
+        for w in (0, 1, 5, 64):
+            b = BitString.random(rng, w)
+            assert b.width == w
+            assert b.value < (1 << w) if w else b.value == 0
+
+
+class TestLabel:
+    def test_empty_label_is_zero_bits(self):
+        assert Label().bit_size() == 0
+
+    def test_uint_field(self):
+        lbl = Label().uint("x", 5, 4)
+        assert lbl["x"] == 5
+        assert lbl.bit_size() == 4
+
+    def test_uint_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            Label().uint("x", 16, 4)
+
+    def test_flag_is_one_bit(self):
+        assert Label().flag("f", True).bit_size() == 1
+
+    def test_field_elem_width(self):
+        lbl = Label().field_elem("z", 16, 17)
+        assert lbl.bit_size() == field_elem_width(17) == 5
+
+    def test_field_elem_range_checked(self):
+        with pytest.raises(ValueError):
+            Label().field_elem("z", 17, 17)
+
+    def test_nested_sublabels_add_sizes(self):
+        inner = Label().uint("a", 1, 3).flag("b", False)
+        outer = Label().sub("inner", inner).uint("c", 0, 2)
+        assert outer.bit_size() == 4 + 2
+        assert outer["inner"]["a"] == 1
+
+    def test_sub_none_is_empty(self):
+        lbl = Label().sub("x", None)
+        assert lbl.bit_size() == 0
+        assert isinstance(lbl["x"], Label)
+
+    def test_maybe_absent_costs_one_bit(self):
+        assert Label().maybe("m", None, 10).bit_size() == 1
+
+    def test_maybe_present_costs_width_plus_one(self):
+        assert Label().maybe("m", 7, 10).bit_size() == 11
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ValueError):
+            Label().flag("x", True).flag("x", False)
+
+    def test_get_with_default(self):
+        assert Label().get("missing") is None
+        assert Label().get("missing", 3) == 3
+
+    def test_missing_field_raises(self):
+        with pytest.raises(KeyError):
+            Label()["nope"]
+
+    def test_contains(self):
+        lbl = Label().flag("here", True)
+        assert "here" in lbl
+        assert "gone" not in lbl
+
+    def test_equality(self):
+        a = Label().uint("x", 1, 2).flag("y", True)
+        b = Label().uint("x", 1, 2).flag("y", True)
+        c = Label().uint("x", 1, 3).flag("y", True)
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    @given(st.lists(st.tuples(st.integers(0, 255)), min_size=0, max_size=8))
+    def test_size_is_sum_of_widths(self, values):
+        lbl = Label()
+        total = 0
+        for i, (v,) in enumerate(values):
+            lbl.uint(f"f{i}", v, 8)
+            total += 8
+        assert lbl.bit_size() == total
+
+
+class TestIndexWidth:
+    def test_loglog_scale(self):
+        # indices live in [ceil(log2 n)]: width is O(log log n)
+        assert index_width(2**10) == uint_width(10)
+        assert index_width(2**32) == uint_width(32) == 6
+
+    def test_small_n(self):
+        assert index_width(1) >= 1
+        assert index_width(2) >= 1

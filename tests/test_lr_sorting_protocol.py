@@ -1,0 +1,158 @@
+"""Section 4: the LR-sorting protocol (Lemma 4.1 / 4.2)."""
+
+import math
+import random
+
+import pytest
+
+from repro.protocols.lr_sorting import LRParams, LRSortingProtocol
+from repro.adversaries import (
+    IndexLiarProver,
+    InnerBlockLiarProver,
+    SwappedBlocksProver,
+)
+
+from conftest import make_lr_instance
+
+
+class TestParams:
+    def test_block_length_is_ceil_log(self):
+        assert LRParams(1024).L == 10
+        assert LRParams(1000).L == 10
+        assert LRParams(4).L == 2
+
+    def test_fields_scale_polylog(self):
+        pm = LRParams(2**16, c=2)
+        assert pm.p > pm.L**2
+        assert pm.p2 > pm.p * pm.L
+        # field elements cost O(log log n) bits
+        assert pm.fw <= 4 * math.ceil(math.log2(pm.L)) + 4
+
+    def test_block_indexing(self):
+        pm = LRParams(100)  # L = 7, 14 blocks
+        assert pm.block_of_position(0) == 0
+        assert pm.block_index(0) == 1
+        assert pm.block_index(pm.L) == 1  # first node of block 1
+        # last block absorbs the remainder
+        last = pm.n_blocks - 1
+        assert pm.block_of_position(99) == last
+
+    def test_pair_encode_injective(self):
+        pm = LRParams(256)
+        seen = set()
+        for i in range(1, pm.L + 1):
+            for j in range(pm.p):
+                code = pm.pair_encode(i, j)
+                assert code not in seen
+                assert 0 <= code < pm.p2
+                seen.add(code)
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 9, 17, 40, 128, 400])
+    def test_yes_instances_accepted(self, n):
+        rng = random.Random(n)
+        proto = LRSortingProtocol(c=2)
+        for t in range(3):
+            inst = make_lr_instance(n, rng)
+            res = proto.execute(inst, rng=random.Random(t))
+            assert res.accepted, (n, t, res.rejecting_nodes[:5])
+            assert res.n_rounds == 5
+
+    def test_simulated_mode_complete(self):
+        rng = random.Random(2)
+        proto = LRSortingProtocol(c=2, simulate_edge_labels=True)
+        for n in (16, 64, 200):
+            res = proto.execute(make_lr_instance(n, rng), rng=random.Random(n))
+            assert res.accepted
+
+
+class TestProofSize:
+    def test_loglog_growth(self):
+        rng = random.Random(1)
+        proto = LRSortingProtocol(c=2)
+        sizes = {}
+        for n in (64, 1024, 4096):
+            inst = make_lr_instance(n, rng)
+            sizes[n] = proto.execute(inst, rng=random.Random(0)).proof_size_bits
+        # the label is ~6 field elements of O(log log n) bits: doubling n six
+        # times moves each field width by <= 2 bits (quantized), far below
+        # the >= 3 bits/doubling a position-based Theta(log n) label pays
+        assert sizes[4096] - sizes[64] <= 6 * 2 + 8
+        # doubling n twice more barely moves it
+        assert sizes[4096] - sizes[1024] <= 8
+        # and the absolute size is polyloglog, nowhere near log-scale blowup
+        assert sizes[4096] <= 40 * math.log2(math.log2(4096)) + 40
+
+
+class TestSoundness:
+    def test_flipped_edge_rejected(self):
+        rng = random.Random(3)
+        proto = LRSortingProtocol(c=2)
+        rejected = 0
+        trials = 30
+        for t in range(trials):
+            inst = make_lr_instance(120, rng, flip_edges=1)
+            assert not inst.is_yes_instance()
+            res = proto.execute(inst, rng=random.Random(t))
+            rejected += not res.accepted
+        assert rejected == trials
+
+    def test_many_flipped_edges_rejected(self):
+        rng = random.Random(4)
+        proto = LRSortingProtocol(c=2)
+        for t in range(10):
+            inst = make_lr_instance(100, rng, flip_edges=5)
+            assert not proto.execute(inst, rng=random.Random(t)).accepted
+
+    @pytest.mark.parametrize(
+        "adversary,needs_flip",
+        [
+            (SwappedBlocksProver, 0),
+            (InnerBlockLiarProver, 1),
+            (IndexLiarProver, 1),
+        ],
+    )
+    def test_adversaries_caught(self, adversary, needs_flip):
+        rng = random.Random(5)
+        proto = LRSortingProtocol(c=2)
+        rejected = 0
+        trials = 25
+        for t in range(trials):
+            inst = make_lr_instance(150, rng, flip_edges=needs_flip)
+            res = proto.execute(inst, prover=adversary(inst), rng=random.Random(t))
+            rejected += not res.accepted
+        assert rejected >= trials - 1  # 1/polylog n soundness slack
+
+    def test_soundness_error_shrinks_with_c(self):
+        """Larger c -> larger fields -> lower acceptance of cheats.
+        (Statistical smoke test on the inner-block nonce collision.)"""
+        rng = random.Random(6)
+        accept_rates = {}
+        for c in (1, 3):
+            proto = LRSortingProtocol(c=c)
+            accepted = 0
+            trials = 40
+            for t in range(trials):
+                inst = make_lr_instance(64, rng, flip_edges=1)
+                res = proto.execute(
+                    inst, prover=InnerBlockLiarProver(inst), rng=random.Random(t)
+                )
+                accepted += res.accepted
+            accept_rates[c] = accepted / trials
+        assert accept_rates[3] <= accept_rates[1] + 0.05
+
+
+class TestRandomness:
+    def test_coins_are_public_and_bounded(self):
+        rng = random.Random(7)
+        proto = LRSortingProtocol(c=2)
+        inst = make_lr_instance(100, rng)
+        res = proto.execute(inst, rng=random.Random(0))
+        pm = res.meta["params"]
+        transcript = res.transcript
+        max_coins = max(
+            transcript.coin_bits_at(v) for v in range(inst.graph.n)
+        )
+        # leaders draw O(log log n) bits: r_b + r + r' + 2 session points
+        assert max_coins <= 3 * pm.fw + 2 * pm.fw2

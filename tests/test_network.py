@@ -1,0 +1,146 @@
+"""Unit tests for the graph substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.network import (
+    Graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    graph_union,
+    norm_edge,
+    path_graph,
+)
+
+
+class TestGraphBasics:
+    def test_empty(self):
+        g = Graph(0)
+        assert g.n == 0 and g.m == 0
+        assert g.is_connected()
+
+    def test_add_edge(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.m == 1
+
+    def test_add_edge_idempotent(self):
+        g = Graph(2, [(0, 1), (0, 1), (1, 0)])
+        assert g.m == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(2).add_edge(1, 1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(2).add_edge(0, 2)
+
+    def test_remove_edge(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        g.remove_edge(1, 0)
+        assert not g.has_edge(0, 1)
+        assert g.m == 1
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 1)
+
+    def test_neighbors_sorted(self):
+        g = Graph(4, [(2, 0), (2, 3), (2, 1)])
+        assert g.neighbors(2) == (0, 1, 3)
+
+    def test_edges_canonical(self):
+        g = Graph(3, [(2, 0), (1, 0)])
+        assert list(g.edges()) == [(0, 1), (0, 2)]
+
+    def test_degree_and_max_degree(self):
+        g = path_graph(4)
+        assert g.degree(0) == 1 and g.degree(1) == 2
+        assert g.max_degree() == 2
+
+
+class TestStructure:
+    def test_connectivity(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert not g.is_connected()
+        assert len(g.connected_components()) == 2
+        g.add_edge(1, 2)
+        assert g.is_connected()
+
+    def test_bfs_tree_spans(self):
+        g = cycle_graph(6)
+        parent = g.bfs_tree(0)
+        assert len(parent) == 6
+        assert parent[0] is None
+
+    def test_subgraph_renumbering(self):
+        g = cycle_graph(5)
+        sub, index = g.subgraph([1, 2, 3])
+        assert sub.n == 3
+        assert sub.m == 2  # edges (1,2),(2,3) survive
+        assert set(index) == {1, 2, 3}
+
+    def test_relabeled_roundtrip(self):
+        g = path_graph(4)
+        mapping = {0: 3, 1: 2, 2: 1, 3: 0}
+        h = g.relabeled(mapping)
+        assert h.edge_set() == {(0, 1), (1, 2), (2, 3)}
+
+    def test_relabel_must_be_injective(self):
+        with pytest.raises(ValueError):
+            path_graph(3).relabeled({0: 0, 1: 0, 2: 1})
+
+
+class TestFactories:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.m == 4 and g.is_connected()
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.m == 5
+        assert all(g.degree(v) == 2 for v in g.nodes())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.m == 10
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(3, 3)
+        assert g.m == 9
+        assert all(g.degree(v) == 3 for v in g.nodes())
+
+    def test_union(self):
+        g = graph_union(path_graph(2), path_graph(2), extra_edges=[(1, 2)])
+        assert g.n == 4 and g.m == 3 and g.is_connected()
+
+    def test_norm_edge(self):
+        assert norm_edge(3, 1) == (1, 3) == norm_edge(1, 3)
+
+
+@given(
+    st.integers(2, 12),
+    st.lists(st.tuples(st.integers(0, 11), st.integers(0, 11)), max_size=30),
+)
+def test_graph_invariants(n, raw_edges):
+    g = Graph(n)
+    for u, v in raw_edges:
+        if u != v and u < n and v < n:
+            g.add_edge(u, v)
+    # handshake lemma
+    assert sum(g.degree(v) for v in g.nodes()) == 2 * g.m
+    # edge iteration matches has_edge
+    for u, v in g.edges():
+        assert u < v and g.has_edge(u, v)
+    # copy is equal but independent
+    h = g.copy()
+    assert h == g
+    if g.m:
+        u, v = next(iter(g.edges()))
+        h.remove_edge(u, v)
+        assert h != g

@@ -1,0 +1,129 @@
+"""Theorem 1.2: the path-outerplanarity protocol."""
+
+import random
+
+import pytest
+
+from repro.adversaries import ForcedWitnessProver
+from repro.graphs.generators import (
+    add_crossing_chord,
+    random_nonplanar,
+    random_path_outerplanar,
+)
+from repro.protocols.instances import PathOuterplanarInstance
+from repro.protocols.path_outerplanarity import (
+    PathOuterplanarityParams,
+    PathOuterplanarityProtocol,
+)
+
+
+class TestParams:
+    def test_sizes_are_loglog(self):
+        pm = PathOuterplanarityParams(2**20)
+        assert pm.t <= 8
+        assert pm.w <= 16
+
+    def test_coin_layout_roundtrip(self):
+        pm = PathOuterplanarityParams(1024)
+        raw = (0b1011 << (pm.stv_bits + pm.w)) | (1 << pm.stv_bits) | 3
+        lr, width = pm.lr_coin2(raw, pm.stv_bits + pm.w + 10)
+        assert lr == 0b1011
+        assert width == 10
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 12, 30, 90])
+    def test_yes_instances_accepted(self, n):
+        rng = random.Random(n)
+        proto = PathOuterplanarityProtocol(c=2)
+        for t in range(3):
+            g, path = random_path_outerplanar(n, rng, density=0.7)
+            inst = PathOuterplanarInstance(g, witness_path=path)
+            res = proto.execute(inst, rng=random.Random(t))
+            assert res.accepted, (n, t, res.rejecting_nodes[:5])
+            assert res.n_rounds == 5
+
+    def test_prover_finds_witness_itself(self):
+        rng = random.Random(9)
+        proto = PathOuterplanarityProtocol(c=2)
+        g, _ = random_path_outerplanar(40, rng)
+        res = proto.execute(PathOuterplanarInstance(g), rng=random.Random(0))
+        assert res.accepted
+
+    def test_sparse_and_dense_instances(self):
+        rng = random.Random(10)
+        proto = PathOuterplanarityProtocol(c=2)
+        for density in (0.0, 0.3, 1.0):
+            g, path = random_path_outerplanar(50, rng, density=density)
+            res = proto.execute(
+                PathOuterplanarInstance(g, witness_path=path),
+                rng=random.Random(1),
+            )
+            assert res.accepted, density
+
+
+class TestSoundness:
+    def test_crossing_chord_rejected(self):
+        rng = random.Random(11)
+        proto = PathOuterplanarityProtocol(c=2)
+        rejected = 0
+        trials = 25
+        for t in range(trials):
+            g, path = random_path_outerplanar(40, rng, density=0.7)
+            bad = add_crossing_chord(g, path, rng)
+            res = proto.execute(PathOuterplanarInstance(bad), rng=random.Random(t))
+            rejected += not res.accepted
+        assert rejected == trials
+
+    def test_forced_witness_adversary_caught(self):
+        """The strongest honest-but-wrong prover: commit the true Hamiltonian
+        path of a crossing instance and label the broken nesting."""
+        rng = random.Random(12)
+        proto = PathOuterplanarityProtocol(c=2)
+        rejected = 0
+        trials = 25
+        for t in range(trials):
+            g, path = random_path_outerplanar(40, rng, density=0.7)
+            bad = add_crossing_chord(g, path, rng)
+            inst = PathOuterplanarInstance(bad)
+            res = proto.execute(
+                inst,
+                prover=ForcedWitnessProver(inst, forced_path=path),
+                rng=random.Random(t),
+            )
+            rejected += not res.accepted
+        assert rejected >= trials - 1
+
+    def test_nonplanar_rejected(self):
+        rng = random.Random(13)
+        proto = PathOuterplanarityProtocol(c=2)
+        for t in range(8):
+            g = random_nonplanar(40, rng)
+            res = proto.execute(PathOuterplanarInstance(g), rng=random.Random(t))
+            assert not res.accepted
+
+    def test_non_hamiltonian_rejected(self):
+        from repro.core.network import Graph
+
+        # a star has no Hamiltonian path
+        g = Graph(5, [(0, i) for i in range(1, 5)])
+        proto = PathOuterplanarityProtocol(c=2)
+        res = proto.execute(PathOuterplanarInstance(g), rng=random.Random(0))
+        assert not res.accepted
+
+
+class TestProofSize:
+    def test_loglog_growth(self):
+        rng = random.Random(14)
+        proto = PathOuterplanarityProtocol(c=2)
+        sizes = {}
+        for n in (64, 1024):
+            g, path = random_path_outerplanar(n, rng, density=0.7)
+            res = proto.execute(
+                PathOuterplanarInstance(g, witness_path=path),
+                rng=random.Random(0),
+            )
+            sizes[n] = res.proof_size_bits
+        # 4 doublings: a log n scheme with the same field count would add
+        # dozens of bits; we allow only the loglog quantization drift
+        assert sizes[1024] - sizes[64] <= 40

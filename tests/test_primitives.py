@@ -1,0 +1,235 @@
+"""Fields, polynomials, multiset equality, forest encoding, edge labels."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.labels import Label
+from repro.core.network import Graph, path_graph
+from repro.graphs.generators import random_planar
+from repro.graphs.spanning import RootedForest, bfs_spanning_tree
+from repro.primitives.edge_labels import EdgeLabelSimulation
+from repro.primitives.fields import PrimeField, is_prime, next_prime
+from repro.primitives.forest_encoding import (
+    decode_forest_view,
+    forest_encoding_labels,
+)
+from repro.primitives.multiset_equality import (
+    MultisetSession,
+    check_subtree_eval,
+    honest_subtree_evals,
+)
+from repro.primitives.polynomials import (
+    bits_to_int,
+    bitstring_index_multiset,
+    int_to_bits,
+    multiset_poly_eval,
+    pair_decode,
+    pair_encode,
+    prefix_poly_evals,
+)
+
+
+class TestPrimes:
+    def test_known_primes(self):
+        for p in (2, 3, 5, 17, 101, 65537):
+            assert is_prime(p)
+
+    def test_known_composites(self):
+        for c in (0, 1, 4, 9, 91, 561, 65536):
+            assert not is_prime(c)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=100)
+    def test_next_prime_is_prime_and_greater(self, n):
+        p = next_prime(n)
+        assert p > n and is_prime(p)
+
+    def test_field_axioms_sampled(self):
+        f = PrimeField(101)
+        rng = random.Random(0)
+        for _ in range(100):
+            a, b, c = (rng.randrange(101) for _ in range(3))
+            assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+        for a in range(1, 101):
+            assert f.mul(a, f.inv(a)) == 1
+
+    def test_non_prime_rejected(self):
+        with pytest.raises(ValueError):
+            PrimeField(10)
+
+
+class TestPolynomials:
+    def test_empty_multiset_is_one(self):
+        assert multiset_poly_eval([], 5, PrimeField(17)) == 1
+
+    @given(
+        st.lists(st.integers(0, 16), max_size=8),
+        st.lists(st.integers(0, 16), max_size=8),
+        st.integers(0, 16),
+    )
+    @settings(max_examples=200)
+    def test_equal_multisets_equal_polys(self, s1, extra, z):
+        f = PrimeField(17)
+        shuffled = list(s1)
+        random.Random(0).shuffle(shuffled)
+        assert multiset_poly_eval(s1, z, f) == multiset_poly_eval(shuffled, z, f)
+
+    def test_unequal_multisets_differ_somewhere(self):
+        f = PrimeField(101)
+        s1, s2 = [1, 2, 3], [1, 2, 4]
+        diffs = sum(
+            multiset_poly_eval(s1, z, f) != multiset_poly_eval(s2, z, f)
+            for z in range(101)
+        )
+        assert diffs >= 101 - 3  # at most deg agreements
+
+    def test_prefix_evals(self):
+        f = PrimeField(17)
+        values = [3, 5, 7]
+        prefixes = prefix_poly_evals(values, 2, f)
+        assert prefixes[0] == 1
+        for i in range(1, 4):
+            assert prefixes[i] == multiset_poly_eval(values[:i], 2, f)
+
+    @given(st.integers(0, 2**16 - 1))
+    def test_bits_roundtrip(self, x):
+        assert bits_to_int(int_to_bits(x, 16)) == x
+
+    def test_bit_multiset(self):
+        assert bitstring_index_multiset([1, 0, 1, 1]) == [1, 3, 4]
+
+    @given(st.integers(0, 30), st.integers(0, 99))
+    def test_pair_encoding_bijective(self, i, j):
+        code = pair_encode(i, j, 100)
+        assert pair_decode(code, 100) == (i, j)
+
+
+class TestMultisetEqualitySession:
+    def _session(self, n):
+        children = {i: [i + 1] for i in range(n - 1)}
+        children[n - 1] = []
+        return MultisetSession.for_bound(n, 3, children, root=0)
+
+    def test_honest_evals_verify(self):
+        rng = random.Random(1)
+        n = 12
+        session = self._session(n)
+        sets = {v: [rng.randrange(n) for _ in range(rng.randrange(3))] for v in range(n)}
+        z = rng.randrange(session.field.p)
+        evals = honest_subtree_evals(session, lambda v: sets[v], z)
+        for v in range(n):
+            kids = session.children[v]
+            assert check_subtree_eval(
+                session.field, evals[v], sets[v], [evals[c] for c in kids], z
+            )
+
+    def test_root_detects_unequal_multisets_whp(self):
+        rng = random.Random(2)
+        n = 10
+        session = self._session(n)
+        s1 = {v: [v] for v in range(n)}
+        s2 = {v: [v] for v in range(n)}
+        s2[3] = [4]  # multisets differ
+        detected = 0
+        trials = 60
+        for _ in range(trials):
+            z = rng.randrange(session.field.p)
+            e1 = honest_subtree_evals(session, lambda v: s1[v], z)
+            e2 = honest_subtree_evals(session, lambda v: s2[v], z)
+            detected += e1[0] != e2[0]
+        assert detected >= trials - 2
+
+    def test_corrupted_eval_caught_locally(self):
+        session = self._session(5)
+        sets = {v: [v] for v in range(5)}
+        evals = honest_subtree_evals(session, lambda v: sets[v], 3)
+        evals[2] = (evals[2] + 1) % session.field.p
+        ok = all(
+            check_subtree_eval(
+                session.field,
+                evals[v],
+                sets[v],
+                [evals[c] for c in session.children[v]],
+                3,
+            )
+            for v in range(5)
+        )
+        assert not ok
+
+
+class TestForestEncoding:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_roundtrip_on_planar_graphs(self, seed):
+        rng = random.Random(seed)
+        for _ in range(15):
+            g = random_planar(rng.randint(2, 50), rng)
+            t = bfs_spanning_tree(g, rng.randrange(g.n))
+            labels = forest_encoding_labels(g, t)
+            for v in g.nodes():
+                nbrs = g.neighbors(v)
+                d = decode_forest_view(labels[v], [labels[u] for u in nbrs])
+                assert d is not None
+                if v in t.parent:
+                    assert nbrs[d.parent_port] == t.parent[v]
+                else:
+                    assert d.is_root and d.parent_port is None
+                assert {nbrs[p] for p in d.children_ports} == set(t.children(v))
+
+    def test_labels_are_constant_size(self):
+        for n in (10, 100, 1000):
+            g = random_planar(n, random.Random(0))
+            t = bfs_spanning_tree(g, 0)
+            labels = forest_encoding_labels(g, t)
+            assert all(l.bit_size() == 8 for l in labels.values())
+
+    def test_malformed_labels_decode_to_none(self):
+        assert decode_forest_view(Label(), []) is None
+
+    def test_ambiguous_parent_rejected(self):
+        # two neighbors with identical parity and matching color
+        own = (
+            Label().uint("c1", 1, 3).uint("c2", 0, 3).uint("parity", 1, 1)
+            .flag("is_root", False)
+        )
+        nbr = (
+            Label().uint("c1", 1, 3).uint("c2", 2, 3).uint("parity", 0, 1)
+            .flag("is_root", False)
+        )
+        assert decode_forest_view(own, [nbr, nbr]) is None
+
+
+class TestEdgeLabelSimulation:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_fold_unfold_lossless(self, seed):
+        rng = random.Random(seed)
+        for _ in range(10):
+            g = random_planar(rng.randint(4, 40), rng)
+            sim = EdgeLabelSimulation(g)
+            setup = sim.setup_labels()
+            edge_labels = {
+                e: Label().uint("payload", k % 32, 5)
+                for k, e in enumerate(g.edges())
+            }
+            folded = sim.fold_round(edge_labels)
+            for v in g.nodes():
+                nbrs = g.neighbors(v)
+                rec = sim.unfold_for_node(
+                    v,
+                    setup[v],
+                    [setup[u] for u in nbrs],
+                    folded[v],
+                    [folded[u] for u in nbrs],
+                )
+                assert rec is not None
+                for port, u in enumerate(nbrs):
+                    assert rec[port] == edge_labels[(min(u, v), max(u, v))]
+
+    def test_folded_size_bounded_by_three_payloads(self):
+        g = random_planar(60, random.Random(7))
+        sim = EdgeLabelSimulation(g)
+        folded = sim.fold_round(
+            {e: Label().uint("x", 0, 10) for e in g.edges()}
+        )
+        assert max(l.bit_size() for l in folded.values()) <= 3 * 10

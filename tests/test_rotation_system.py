@@ -1,0 +1,135 @@
+"""RotationSystem operations and face tracing."""
+
+import random
+
+import pytest
+
+from repro.core.network import Graph, cycle_graph, complete_graph
+from repro.graphs.embedding import (
+    RotationSystem,
+    embedding_is_planar,
+    flip_rotation,
+    swap_rotation,
+)
+from repro.graphs.planarity import find_planar_embedding
+
+
+class TestInsertionOps:
+    def test_first_edge(self):
+        rs = RotationSystem(2)
+        rs.add_first_edge(0, 1)
+        assert rs.rotation(0) == [1]
+        with pytest.raises(ValueError):
+            rs.add_first_edge(0, 1)
+
+    def test_cw_insertion(self):
+        rs = RotationSystem(4)
+        rs.add_first_edge(0, 1)
+        rs.add_cw(0, 2, ref=1)
+        rs.add_cw(0, 3, ref=1)
+        assert rs.rotation(0) == [1, 3, 2]
+
+    def test_ccw_insertion_updates_first(self):
+        rs = RotationSystem(3)
+        rs.add_first_edge(0, 1)
+        rs.add_ccw(0, 2, ref=1)
+        assert rs.first[0] == 2
+        assert rs.rotation(0) == [2, 1]
+
+    def test_half_edge_first(self):
+        rs = RotationSystem(4)
+        rs.add_first_edge(0, 1)
+        rs.add_cw(0, 2, ref=1)
+        rs.add_half_edge_first(0, 3)
+        assert rs.rotation(0)[0] == 3
+
+    def test_from_orders_roundtrip(self):
+        orders = {0: [1, 2, 3], 1: [0], 2: [0], 3: [0]}
+        rs = RotationSystem.from_orders(4, orders)
+        for v, order in orders.items():
+            assert rs.rotation(v) == order
+
+    def test_rho_is_a_bijection(self):
+        rs = RotationSystem.from_orders(3, {0: [1, 2], 1: [0], 2: [0]})
+        rho = rs.rho(0)
+        assert sorted(rho.values()) == [0, 1]
+
+
+class TestFaces:
+    def test_cycle_has_two_faces(self):
+        g = cycle_graph(6)
+        rs = RotationSystem.from_orders(
+            6, {v: list(g.neighbors(v)) for v in g.nodes()}
+        )
+        assert rs.num_faces() == 2
+
+    def test_tree_has_one_face(self):
+        g = Graph(4, [(0, 1), (1, 2), (1, 3)])
+        rs = RotationSystem.from_orders(
+            4, {v: list(g.neighbors(v)) for v in g.nodes()}
+        )
+        assert rs.num_faces() == 1
+
+    def test_k4_embedding_has_four_faces(self):
+        g = complete_graph(4)
+        emb = find_planar_embedding(g)
+        assert emb.num_faces() == 4  # Euler: 4 - 6 + f = 2
+
+    def test_face_tracing_covers_every_half_edge(self):
+        g = complete_graph(4)
+        emb = find_planar_embedding(g)
+        covered = {he for face in emb.faces() for he in face}
+        assert len(covered) == 2 * g.m
+
+
+class TestMutations:
+    def test_flip_preserves_edge_set(self):
+        g = complete_graph(4)
+        emb = find_planar_embedding(g)
+        flipped = flip_rotation(emb, 0)
+        assert sorted(flipped.rotation(0)) == sorted(emb.rotation(0))
+        assert flipped.rotation(0) == list(reversed(emb.rotation(0)))
+
+    def test_global_reflection_stays_planar(self):
+        # reversing EVERY rotation is a reflection: still planar
+        g = complete_graph(4)
+        emb = find_planar_embedding(g)
+        reflected = RotationSystem.from_orders(
+            g.n, {v: list(reversed(emb.rotation(v))) for v in g.nodes()}
+        )
+        assert embedding_is_planar(g, reflected)
+
+    def test_swap_changes_order(self):
+        g = complete_graph(4)
+        emb = find_planar_embedding(g)
+        swapped = swap_rotation(emb, 0, 0, 1)
+        r0, r1 = emb.rotation(0), swapped.rotation(0)
+        assert r0 != r1 and sorted(r0) == sorted(r1)
+
+    def test_single_swap_on_k4_breaks_planarity_or_not(self):
+        # K4's rotations: a transposition of two entries at one node gives
+        # genus 1 (one can verify: 4 - 6 + f = 2 fails)
+        g = complete_graph(4)
+        emb = find_planar_embedding(g)
+        results = set()
+        for i in range(3):
+            for j in range(i + 1, 3):
+                results.add(embedding_is_planar(g, swap_rotation(emb, 0, i, j)))
+        assert False in results  # some swap breaks it
+
+
+class TestValidation:
+    def test_mismatched_rotation_rejected(self):
+        g = cycle_graph(4)
+        rs = RotationSystem.from_orders(4, {0: [1], 1: [0], 2: [1, 3], 3: [0, 2]})
+        with pytest.raises(ValueError):
+            embedding_is_planar(g, rs)
+
+    def test_disconnected_components_validated_separately(self):
+        g = Graph(6)
+        for u, v in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]:
+            g.add_edge(u, v)
+        rs = RotationSystem.from_orders(
+            6, {v: list(g.neighbors(v)) for v in g.nodes()}
+        )
+        assert embedding_is_planar(g, rs)

@@ -1,0 +1,141 @@
+"""Spanning structures, Euler tours, arboricity partitions, colorings."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.network import Graph, cycle_graph, path_graph
+from repro.graphs.coloring import (
+    degeneracy,
+    greedy_coloring,
+    is_proper_coloring,
+)
+from repro.graphs.generators import random_apollonian, random_planar
+from repro.graphs.spanning import (
+    RootedForest,
+    arboricity_forest_partition,
+    bfs_spanning_tree,
+    euler_tour,
+    forest_partition_assignment,
+    hamiltonian_path_forest,
+    spanning_forest,
+)
+
+
+class TestRootedForest:
+    def test_empty(self):
+        f = RootedForest(3)
+        assert f.roots() == [0, 1, 2]
+        assert f.depth(0) == 0
+
+    def test_parent_pointers(self):
+        f = RootedForest(4, {1: 0, 2: 1, 3: 1})
+        assert f.roots() == [0]
+        assert f.depth(2) == 2
+        assert f.children(1) == [2, 3]
+
+    def test_cycle_detected(self):
+        with pytest.raises(ValueError):
+            RootedForest(3, {0: 1, 1: 2, 2: 0})
+
+    def test_spanning_tree_predicate(self):
+        g = path_graph(4)
+        f = RootedForest(4, {1: 0, 2: 1, 3: 2})
+        assert f.is_spanning_tree_of(g)
+        assert not RootedForest(4, {1: 0, 2: 1}).is_spanning_tree_of(g)
+
+    def test_subtree_nodes(self):
+        f = RootedForest(5, {1: 0, 2: 0, 3: 1, 4: 1})
+        assert sorted(f.subtree_nodes(1)) == [1, 3, 4]
+
+
+class TestSpanningTrees:
+    def test_bfs_spans(self):
+        g = cycle_graph(7)
+        t = bfs_spanning_tree(g, 3)
+        assert t.is_spanning_tree_of(g)
+        assert t.roots() == [3]
+
+    def test_bfs_requires_connected(self):
+        with pytest.raises(ValueError):
+            bfs_spanning_tree(Graph(3, [(0, 1)]), 0)
+
+    def test_spanning_forest_disconnected(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        f = spanning_forest(g)
+        assert len(f.roots()) == 3  # components {0,1}, {2,3}, {4}
+
+    def test_hamiltonian_path_forest(self):
+        f = hamiltonian_path_forest([2, 0, 1], 3)
+        assert f.roots() == [2]
+        assert f.parent == {0: 2, 1: 0}
+
+
+class TestEulerTour:
+    def test_single_node(self):
+        t = RootedForest(1)
+        assert euler_tour(t, 0) == [0]
+
+    def test_path_tour(self):
+        t = RootedForest(3, {1: 0, 2: 1})
+        assert euler_tour(t, 0) == [0, 1, 2, 1, 0]
+
+    def test_star_tour(self):
+        t = RootedForest(4, {1: 0, 2: 0, 3: 0})
+        assert euler_tour(t, 0) == [0, 1, 0, 2, 0, 3, 0]
+
+    @given(st.integers(2, 40), st.integers(0, 10))
+    @settings(max_examples=50)
+    def test_tour_length(self, n, seed):
+        rng = random.Random(seed)
+        parent = {v: rng.randrange(v) for v in range(1, n)}
+        t = RootedForest(n, parent)
+        tour = euler_tour(t, 0)
+        assert len(tour) == 2 * (n - 1) + 1
+        assert tour[0] == tour[-1] == 0
+        assert set(tour) == set(range(n))
+        # consecutive entries are tree edges
+        edges = set(map(tuple, (sorted(e) for e in t.edges())))
+        for a, b in zip(tour, tour[1:]):
+            assert tuple(sorted((a, b))) in edges
+
+
+class TestArboricity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_planar_graphs_split_into_three_forests(self, seed):
+        rng = random.Random(seed)
+        for _ in range(10):
+            g = random_planar(rng.randint(4, 60), rng, keep_fraction=1.0)
+            forests = arboricity_forest_partition(g)
+            assert len(forests) == 3
+            assignment = forest_partition_assignment(g, forests)
+            assert set(assignment) == g.edge_set()
+
+    def test_assignment_child_is_endpoint(self):
+        g = random_planar(30, random.Random(1))
+        forests = arboricity_forest_partition(g)
+        for e, (fi, child) in forest_partition_assignment(g, forests).items():
+            assert child in e
+            assert 0 <= fi < 3
+
+
+class TestColoring:
+    def test_planar_degeneracy_at_most_5(self):
+        rng = random.Random(2)
+        for _ in range(10):
+            g = random_apollonian(rng.randint(4, 80), rng)
+            assert degeneracy(g) <= 5
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_greedy_coloring_proper_and_small(self, seed):
+        rng = random.Random(seed)
+        for _ in range(15):
+            g = random_planar(rng.randint(3, 60), rng)
+            coloring = greedy_coloring(g)
+            assert is_proper_coloring(g, coloring)
+            assert max(coloring.values(), default=0) <= 5  # <= 6 colors
+
+    def test_coloring_covers_all_nodes(self):
+        g = cycle_graph(9)
+        assert set(greedy_coloring(g)) == set(g.nodes())
