@@ -1,0 +1,88 @@
+"""E-runtime: BatchRunner scaling — serial vs. sharded soundness batches.
+
+Runs a 1,000-run soundness batch (crossing-chord no-instances) for the
+Theorem-1.2 path-outerplanarity protocol at n=128 with ``workers=0`` and
+``workers=4``, asserts the two canonical reports are byte-identical, and
+records wall-clock numbers plus the machine profile in
+``BENCH_runtime.json`` at the repo root.
+
+The >= 3x speedup claim of the runtime only applies on machines with at
+least 4 usable cores; on smaller machines (CI containers are often
+1-core) the speedup is recorded but not asserted — the determinism
+invariant is asserted everywhere.
+
+    pytest benchmarks/bench_runtime.py -q
+    REPRO_BENCH_RUNS=200 pytest benchmarks/bench_runtime.py -q   # quick look
+"""
+
+import json
+import os
+import platform
+from pathlib import Path
+
+from repro.runtime import BatchRunner, get_task
+
+RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "1000"))
+N = 128
+SEED = 0
+PARALLEL_WORKERS = 4
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def test_parallel_soundness_batch_speedup():
+    spec = get_task("path_outerplanarity")
+    reports = {}
+    for workers in (0, PARALLEL_WORKERS):
+        runner = BatchRunner(
+            spec.protocol(c=2), spec.no_factory, workers=workers
+        )
+        reports[workers] = runner.run(RUNS, N, seed=SEED)
+
+    serial, parallel = reports[0], reports[PARALLEL_WORKERS]
+    assert serial.canonical_json() == parallel.canonical_json()
+    assert serial.rejection_rate >= 0.99  # crossing chords are always caught
+
+    cores = _usable_cores()
+    speedup = serial.wall_clock_total / parallel.wall_clock_total
+    payload = {
+        "experiment": "1000-run soundness batch, path_outerplanarity, n=128",
+        "task": "path_outerplanarity",
+        "instances": "no (crossing chord)",
+        "runs": RUNS,
+        "n": N,
+        "master_seed": SEED,
+        "machine": {
+            "usable_cores": cores,
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "serial": {
+            "workers": 0,
+            "wall_clock_total_s": round(serial.wall_clock_total, 3),
+            "ms_per_run": round(serial.wall_time_per_run * 1000, 2),
+        },
+        "parallel": {
+            "workers": PARALLEL_WORKERS,
+            "wall_clock_total_s": round(parallel.wall_clock_total, 3),
+            "ms_per_run": round(parallel.wall_time_per_run * 1000, 2),
+        },
+        "speedup": round(speedup, 3),
+        "speedup_assertable": cores >= PARALLEL_WORKERS,
+        "canonical_reports_identical": True,
+        "rejection_rate": serial.rejection_rate,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    if cores >= PARALLEL_WORKERS:
+        assert speedup >= 3.0, (
+            f"expected >= 3x speedup with {PARALLEL_WORKERS} workers on "
+            f"{cores} cores, measured {speedup:.2f}x"
+        )

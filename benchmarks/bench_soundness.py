@@ -4,8 +4,13 @@ Paper claim: every protocol has perfect completeness; soundness error is
 1/polylog n.  Measured: honest acceptance rates (must be exactly 1.0) and
 empirical rejection rates against the adversary suite with Wilson 95%
 intervals.
+
+Both sweeps run through ``repro.runtime.BatchRunner``; pass
+``--repro-workers k`` (or ``REPRO_WORKERS=k``) to shard the Monte Carlo
+runs over ``k`` processes without changing any measured number.
 """
 
+import functools
 import random
 
 import pytest
@@ -21,20 +26,9 @@ from repro.analysis.experiments import (
     print_table,
     soundness_sweep,
 )
-from repro.graphs.generators import (
-    add_crossing_chord,
-    random_nonplanar,
-    random_path_outerplanar,
-    random_planar_not_outerplanar,
-    random_not_treewidth2,
-)
-from repro.protocols.instances import (
-    OuterplanarInstance,
-    PathOuterplanarInstance,
-    PlanarityInstance,
-    SeriesParallelInstance,
-    Treewidth2Instance,
-)
+from repro.graphs.generators import add_crossing_chord, random_path_outerplanar
+from repro.protocols.instances import PathOuterplanarInstance
+from repro.runtime import registry
 from repro.protocols.lr_sorting import LRSortingProtocol
 from repro.protocols.outerplanarity import OuterplanarityProtocol
 from repro.protocols.path_outerplanarity import PathOuterplanarityProtocol
@@ -57,7 +51,7 @@ def _crossing_instance(n, rng):
     return PathOuterplanarInstance(add_crossing_chord(g, path, rng))
 
 
-def test_completeness_is_perfect(benchmark):
+def test_completeness_is_perfect(benchmark, workers):
     cases = [
         ("T1.2", PathOuterplanarityProtocol(c=2), path_op_instance),
         ("T1.3", OuterplanarityProtocol(c=2), outerplanar_instance),
@@ -68,7 +62,9 @@ def test_completeness_is_perfect(benchmark):
     ]
     rows = []
     for name, proto, factory in cases:
-        stats = completeness_sweep(proto, factory, n=100, trials=15, seed=2)
+        stats = completeness_sweep(
+            proto, factory, n=100, trials=15, seed=2, workers=workers
+        )
         rows.append((name, stats["rate"], stats["trials"]))
         assert stats["rate"] == 1.0, name
     print_table(
@@ -80,34 +76,15 @@ def test_completeness_is_perfect(benchmark):
     benchmark(lambda: proto.execute(inst, rng=random.Random(0)))
 
 
-def test_soundness_against_adversaries(benchmark):
+def test_soundness_against_adversaries(benchmark, workers):
     lr = LRSortingProtocol(c=2)
     rows = []
+    lr_no = functools.partial(lr_instance, flip_edges=1)
     cases = [
-        (
-            "LR: honest machinery, 1 back edge",
-            lr,
-            lambda n, rng: lr_instance(n, rng, flip_edges=1),
-            None,
-        ),
-        (
-            "LR: swapped-blocks prover",
-            lr,
-            lambda n, rng: lr_instance(n, rng),
-            SwappedBlocksProver,
-        ),
-        (
-            "LR: inner-block liar",
-            lr,
-            lambda n, rng: lr_instance(n, rng, flip_edges=1),
-            InnerBlockLiarProver,
-        ),
-        (
-            "LR: index liar",
-            lr,
-            lambda n, rng: lr_instance(n, rng, flip_edges=1),
-            IndexLiarProver,
-        ),
+        ("LR: honest machinery, 1 back edge", lr, lr_no, None),
+        ("LR: swapped-blocks prover", lr, lr_instance, SwappedBlocksProver),
+        ("LR: inner-block liar", lr, lr_no, InnerBlockLiarProver),
+        ("LR: index liar", lr, lr_no, IndexLiarProver),
         (
             "T1.2: crossing chord",
             PathOuterplanarityProtocol(c=2),
@@ -117,25 +94,20 @@ def test_soundness_against_adversaries(benchmark):
         (
             "T1.3: planar non-outerplanar",
             OuterplanarityProtocol(c=2),
-            lambda n, rng: OuterplanarInstance(random_planar_not_outerplanar(n, rng)),
+            registry.outerplanarity_no,
             None,
         ),
-        (
-            "T1.5: non-planar",
-            PlanarityProtocol(c=2),
-            lambda n, rng: PlanarityInstance(random_nonplanar(n, rng)),
-            None,
-        ),
+        ("T1.5: non-planar", PlanarityProtocol(c=2), registry.planarity_no, None),
         (
             "T1.6: K4 subdivision",
             SeriesParallelProtocol(c=2),
-            lambda n, rng: SeriesParallelInstance(random_not_treewidth2(n, rng)),
+            registry.series_parallel_no,
             None,
         ),
         (
             "T1.7: K4 subdivision",
             Treewidth2Protocol(c=2),
-            lambda n, rng: Treewidth2Instance(random_not_treewidth2(n, rng)),
+            registry.treewidth2_no,
             None,
         ),
     ]
@@ -147,6 +119,7 @@ def test_soundness_against_adversaries(benchmark):
             trials=15,
             seed=3,
             prover_factory=adversary,
+            workers=workers,
         )
         lo, hi = stats["wilson_95"]
         rows.append((name, f"{stats['rate']:.2f}", f"[{lo:.2f}, {hi:.2f}]"))

@@ -1,63 +1,82 @@
-"""Shared factories for the benchmark/experiment harness."""
+"""Shared factories and knobs for the benchmark/experiment harness.
 
-import random
+The instance factories below are thin aliases for the module-level,
+picklable factories in :mod:`repro.runtime.registry`, so every benchmark
+can hand them straight to ``BatchRunner`` / the ``workers=`` knob of the
+experiment drivers.
 
-from repro.core.network import norm_edge
-from repro.graphs.generators import (
-    random_outerplanar,
-    random_path_outerplanar,
-    random_planar,
-    random_planar_embedding_instance,
-    random_series_parallel,
-    random_treewidth2,
+Parallelism knob
+----------------
+All batched experiment drivers accept ``workers``: 0 runs serially, ``k``
+shards runs over ``k`` worker processes.  Benchmarks read the knob from
+the ``workers`` fixture, settable per invocation:
+
+    pytest benchmarks/bench_soundness.py --benchmark-only --repro-workers 4
+    REPRO_WORKERS=4 pytest benchmarks/ --benchmark-only
+
+Results are bit-identical for any worker count at a fixed seed: run ``i``
+of a batch with master seed ``s`` always draws its instance randomness
+from ``SeedSequence(s).child(i).child("instance")`` and its protocol
+coins from ``SeedSequence(s).child(i).child("protocol")``, independent of
+worker assignment (see ``repro/runtime/seeds.py``).
+"""
+
+import os
+
+import pytest
+
+from repro.runtime.registry import (
+    lr_sorting_instance,
+    outerplanarity_yes,
+    path_outerplanarity_yes,
+    planar_embedding_yes,
+    planarity_yes,
+    series_parallel_yes,
+    treewidth2_yes,
 )
-from repro.protocols.instances import (
-    LRSortingInstance,
-    OuterplanarInstance,
-    PathOuterplanarInstance,
-    PlanarEmbeddingInstance,
-    PlanarityInstance,
-    SeriesParallelInstance,
-    Treewidth2Instance,
-)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-workers",
+        type=int,
+        default=None,
+        help="worker processes for batched experiment drivers "
+        "(default: REPRO_WORKERS env var, else 0 = serial)",
+    )
+
+
+@pytest.fixture
+def workers(request):
+    opt = request.config.getoption("--repro-workers", default=None)
+    if opt is not None:
+        return opt
+    return int(os.environ.get("REPRO_WORKERS", "0"))
 
 
 def lr_instance(n, rng, flip_edges=0, density=0.5):
-    g, path = random_path_outerplanar(n, rng, density=density)
-    pos = {v: i for i, v in enumerate(path)}
-    path_edges = {norm_edge(path[i], path[i + 1]) for i in range(n - 1)}
-    orientation = {}
-    non_path = [e for e in g.edges() if e not in path_edges]
-    rng.shuffle(non_path)
-    for k, (u, v) in enumerate(non_path):
-        t, h = (u, v) if pos[u] < pos[v] else (v, u)
-        if k < flip_edges:
-            t, h = h, t
-        orientation[norm_edge(u, v)] = (t, h)
-    return LRSortingInstance(g, path, orientation)
+    return lr_sorting_instance(n, rng, flip_edges=flip_edges, density=density)
 
 
 def path_op_instance(n, rng):
-    g, path = random_path_outerplanar(n, rng, density=0.5)
-    return PathOuterplanarInstance(g, witness_path=path)
+    return path_outerplanarity_yes(n, rng)
 
 
 def outerplanar_instance(n, rng):
-    return OuterplanarInstance(random_outerplanar(n, rng))
+    return outerplanarity_yes(n, rng)
 
 
 def embedding_instance(n, rng):
-    g, rot = random_planar_embedding_instance(max(4, n), rng)
-    return PlanarEmbeddingInstance(g, rot)
+    return planar_embedding_yes(n, rng)
 
 
 def planarity_instance(n, rng):
-    return PlanarityInstance(random_planar(max(4, n), rng))
+    return planarity_yes(n, rng)
 
 
 def sp_instance(n, rng):
-    return SeriesParallelInstance(random_series_parallel(n, rng))
+    return series_parallel_yes(n, rng)
 
 
 def tw2_instance(n, rng):
-    return Treewidth2Instance(random_treewidth2(max(3, n), rng))
+    return treewidth2_yes(n, rng)

@@ -1,6 +1,12 @@
 """Measurement: growth fits, acceptance statistics, experiment drivers."""
 
-from .experiments import completeness_sweep, print_table, size_sweep, soundness_sweep
+from .experiments import (
+    completeness_sweep,
+    print_table,
+    run_batch,
+    size_sweep,
+    soundness_sweep,
+)
 from .metrics import (
     LinearFit,
     acceptance_stats,

@@ -3,43 +3,83 @@
 Each driver matches one experiment of DESIGN.md's per-experiment index and
 returns plain dicts so the benchmarks can both assert the claimed shape and
 print the paper-vs-measured rows for EXPERIMENTS.md.
+
+All drivers execute through :class:`repro.runtime.BatchRunner`, so every
+one takes a ``workers`` knob: ``workers=0`` (the default) runs serially
+in-process, ``workers=k`` shards the runs over ``k`` worker processes.
+The two paths are bit-identical by construction — run ``i`` of a batch
+with master seed ``s`` draws its instance and protocol randomness from
+``SeedSequence(s).child(i)`` regardless of which worker executes it (see
+``repro.runtime.seeds``).  Note this seeding scheme differs from the
+pre-runtime drivers, which threaded one shared ``random.Random(seed)``
+through all runs; numbers in EXPERIMENTS.md were re-measured when the
+drivers moved onto the runtime.
+
+With ``workers > 0`` the protocol and factories must pickle: pass
+module-level factories (e.g. from ``repro.runtime.registry``), not
+lambdas.
 """
 
 from __future__ import annotations
 
-import random
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from ..runtime.runner import BatchReport, BatchRunner
+from ..runtime.seeds import SeedSequence
 from .metrics import acceptance_stats, loglog_growth_verdict
+
+
+def run_batch(
+    protocol,
+    instance_factory: Callable,
+    n_runs: int,
+    n: int,
+    seed: int = 0,
+    prover_factory: Optional[Callable] = None,
+    workers: int = 0,
+) -> BatchReport:
+    """One aggregated batch of runs; the substrate of every driver here."""
+    runner = BatchRunner(
+        protocol,
+        instance_factory,
+        prover_factory=prover_factory,
+        workers=workers,
+    )
+    return runner.run(n_runs, n, seed=seed)
 
 
 def size_sweep(
     protocol,
-    instance_factory: Callable[[int, random.Random], object],
+    instance_factory: Callable,
     ns: Sequence[int],
     seed: int = 0,
     repeats: int = 3,
+    workers: int = 0,
 ) -> Dict:
-    """Max measured proof size per n; fits for the growth verdict (E1)."""
-    rng = random.Random(seed)
+    """Max measured proof size per n; fits for the growth verdict (E1).
+
+    Each n gets its own derived master seed (``SeedSequence(seed).child(n)``)
+    so adding or reordering sweep points never perturbs other points.
+    """
     sizes: List[int] = []
     rounds: List[int] = []
     for n in ns:
-        worst = 0
-        worst_rounds = 0
-        for _ in range(repeats):
-            instance = instance_factory(n, rng)
-            result = protocol.execute(
-                instance, rng=random.Random(rng.getrandbits(64))
+        report = run_batch(
+            protocol,
+            instance_factory,
+            n_runs=repeats,
+            n=n,
+            seed=SeedSequence(seed).child(n).seed_int(),
+            workers=workers,
+        )
+        rejected = [r for r in report.records if not r.accepted]
+        if rejected:
+            raise AssertionError(
+                f"{protocol.name}: honest run rejected at n={n} "
+                f"(runs {[r.index for r in rejected]})"
             )
-            if not result.accepted:
-                raise AssertionError(
-                    f"{protocol.name}: honest run rejected at n={n}"
-                )
-            worst = max(worst, result.proof_size_bits)
-            worst_rounds = max(worst_rounds, result.n_rounds)
-        sizes.append(worst)
-        rounds.append(worst_rounds)
+        sizes.append(report.proof_size_max)
+        rounds.append(report.rounds_max)
     out = {"ns": list(ns), "sizes": sizes, "rounds": rounds}
     if len(ns) >= 2:
         out.update(loglog_growth_verdict(list(ns), sizes))
@@ -48,40 +88,39 @@ def size_sweep(
 
 def completeness_sweep(
     protocol,
-    instance_factory: Callable[[int, random.Random], object],
+    instance_factory: Callable,
     n: int,
     trials: int = 20,
     seed: int = 0,
+    workers: int = 0,
 ) -> Dict:
     """Honest-prover acceptance rate on yes-instances (must be 1.0)."""
-    rng = random.Random(seed)
-    results = []
-    for _ in range(trials):
-        instance = instance_factory(n, rng)
-        run = protocol.execute(instance, rng=random.Random(rng.getrandbits(64)))
-        results.append(run.accepted)
-    return acceptance_stats(results)
+    report = run_batch(
+        protocol, instance_factory, n_runs=trials, n=n, seed=seed, workers=workers
+    )
+    return acceptance_stats([r.accepted for r in report.records])
 
 
 def soundness_sweep(
     protocol,
-    no_instance_factory: Callable[[int, random.Random], object],
+    no_instance_factory: Callable,
     n: int,
     trials: int = 20,
     seed: int = 0,
-    prover_factory: Optional[Callable[[object], object]] = None,
+    prover_factory: Optional[Callable] = None,
+    workers: int = 0,
 ) -> Dict:
     """Rejection rate on no-instances (optionally with a given adversary)."""
-    rng = random.Random(seed)
-    rejections = []
-    for _ in range(trials):
-        instance = no_instance_factory(n, rng)
-        prover = prover_factory(instance) if prover_factory else None
-        run = protocol.execute(
-            instance, prover=prover, rng=random.Random(rng.getrandbits(64))
-        )
-        rejections.append(not run.accepted)
-    return acceptance_stats(rejections)
+    report = run_batch(
+        protocol,
+        no_instance_factory,
+        n_runs=trials,
+        n=n,
+        seed=seed,
+        prover_factory=prover_factory,
+        workers=workers,
+    )
+    return acceptance_stats([not r.accepted for r in report.records])
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:

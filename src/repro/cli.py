@@ -2,9 +2,15 @@
 
     python -m repro run path-outerplanarity --n 256 --seed 7
     python -m repro run planarity --n 200 --no-instance
-    python -m repro sweep outerplanarity --ns 64,256,1024
+    python -m repro sweep outerplanarity --ns 64,256,1024 --workers 4
+    python -m repro batch planarity --runs 10000 --n 128 --workers 8
     python -m repro attack --n 1024 --bits 6
     python -m repro run planarity --edges graph.txt   # one "u v" pair per line
+
+``sweep`` and ``batch`` accept ``--workers k`` to shard runs over ``k``
+worker processes via ``repro.runtime.BatchRunner``; results are identical
+to ``--workers 0`` (serial) for the same seed, because run ``i`` always
+draws from the stream ``SeedSequence(seed).child(i)``.
 
 Exit status is 0 when the verdict matches the instance (accepted
 yes-instance / rejected no-instance), 1 otherwise.
@@ -13,82 +19,41 @@ yes-instance / rejected no-instance), 1 otherwise.
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from typing import Optional
 
-from .analysis.experiments import size_sweep
+from .analysis.experiments import run_batch, size_sweep
 from .core.network import Graph
-from .graphs.generators import (
-    random_nonplanar,
-    random_outerplanar,
-    random_path_outerplanar,
-    random_planar,
-    random_planar_embedding_instance,
-    random_planar_not_outerplanar,
-    random_not_treewidth2,
-    random_series_parallel,
-    random_treewidth2,
-)
-from .protocols.instances import (
-    OuterplanarInstance,
-    PathOuterplanarInstance,
-    PlanarEmbeddingInstance,
-    PlanarityInstance,
-    SeriesParallelInstance,
-    Treewidth2Instance,
-)
-from .protocols.outerplanarity import OuterplanarityProtocol
-from .protocols.path_outerplanarity import PathOuterplanarityProtocol
-from .protocols.planar_embedding import PlanarEmbeddingProtocol
-from .protocols.planarity import PlanarityProtocol
-from .protocols.series_parallel import SeriesParallelProtocol
-from .protocols.treewidth2 import Treewidth2Protocol
+from .graphs.generators import random_nonplanar
+from .protocols.instances import PathOuterplanarInstance
+from .runtime import registry
 
 
+def _cli_path_outerplanarity_no(n: int, rng: random.Random) -> PathOuterplanarInstance:
+    """Historical CLI no-instance for path-outerplanarity: non-planar."""
+    return PathOuterplanarInstance(random_nonplanar(n, rng))
+
+
+#: CLI task name -> (protocol class, yes factory, no factory, instance class)
 def _tasks():
-    return {
-        "path-outerplanarity": (
-            PathOuterplanarityProtocol,
-            lambda n, rng: (lambda gp: PathOuterplanarInstance(gp[0], witness_path=gp[1]))(
-                random_path_outerplanar(n, rng)
-            ),
-            lambda n, rng: PathOuterplanarInstance(random_nonplanar(n, rng)),
-            PathOuterplanarInstance,
-        ),
-        "outerplanarity": (
-            OuterplanarityProtocol,
-            lambda n, rng: OuterplanarInstance(random_outerplanar(n, rng)),
-            lambda n, rng: OuterplanarInstance(random_planar_not_outerplanar(n, rng)),
-            OuterplanarInstance,
-        ),
-        "planar-embedding": (
-            PlanarEmbeddingProtocol,
-            lambda n, rng: PlanarEmbeddingInstance(
-                *random_planar_embedding_instance(n, rng)
-            ),
-            None,
-            None,
-        ),
-        "planarity": (
-            PlanarityProtocol,
-            lambda n, rng: PlanarityInstance(random_planar(n, rng)),
-            lambda n, rng: PlanarityInstance(random_nonplanar(n, rng)),
-            PlanarityInstance,
-        ),
-        "series-parallel": (
-            SeriesParallelProtocol,
-            lambda n, rng: SeriesParallelInstance(random_series_parallel(n, rng)),
-            lambda n, rng: SeriesParallelInstance(random_not_treewidth2(n, rng)),
-            SeriesParallelInstance,
-        ),
-        "treewidth-2": (
-            Treewidth2Protocol,
-            lambda n, rng: Treewidth2Instance(random_treewidth2(n, rng)),
-            lambda n, rng: Treewidth2Instance(random_not_treewidth2(n, rng)),
-            Treewidth2Instance,
-        ),
-    }
+    out = {}
+    for cli_name, reg_name in [
+        ("path-outerplanarity", "path_outerplanarity"),
+        ("outerplanarity", "outerplanarity"),
+        ("planar-embedding", "planar_embedding"),
+        ("planarity", "planarity"),
+        ("series-parallel", "series_parallel"),
+        ("treewidth-2", "treewidth2"),
+    ]:
+        spec = registry.get_task(reg_name)
+        no_factory = spec.no_factory
+        if cli_name == "path-outerplanarity":
+            no_factory = _cli_path_outerplanarity_no
+        instance_cls = spec.instance_cls if cli_name != "planar-embedding" else None
+        out[cli_name] = (spec.protocol, spec.yes_factory, no_factory, instance_cls)
+    return out
 
 
 def _load_graph(path: str) -> Graph:
@@ -144,14 +109,18 @@ def cmd_run(args) -> int:
 
 def cmd_sweep(args) -> int:
     tasks = _tasks()
+    if args.task not in tasks:
+        print(f"unknown task {args.task}; choose from {sorted(tasks)}")
+        return 2
     proto_cls, yes_factory, _, _ = tasks[args.task]
     ns = [int(x) for x in args.ns.split(",")]
     data = size_sweep(
         proto_cls(c=args.c),
-        lambda n, rng: yes_factory(n, rng),
+        yes_factory,
         ns,
         seed=args.seed,
         repeats=args.repeats,
+        workers=args.workers,
     )
     print(f"{'n':>8} | {'proof bits':>10} | rounds")
     for n, s, r in zip(data["ns"], data["sizes"], data["rounds"]):
@@ -159,6 +128,63 @@ def cmd_sweep(args) -> int:
     if "log_fit" in data:
         print(f"fit vs log2(n):       {data['log_fit']}")
         print(f"fit vs log2(log2 n):  {data['loglog_fit']}")
+    return 0
+
+
+def cmd_batch(args) -> int:
+    try:
+        spec = registry.get_task(args.task)
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+    if args.no_instance or args.adversary:
+        factory = spec.no_factory if args.no_instance else spec.yes_factory
+        if factory is None:
+            print(f"no built-in no-instance generator for {args.task}")
+            return 2
+        expect_accept = False
+    else:
+        factory = spec.yes_factory
+        expect_accept = True
+    prover_factory = None
+    if args.adversary:
+        if args.adversary not in spec.adversaries:
+            print(
+                f"unknown adversary {args.adversary!r} for {args.task}; "
+                f"choose from {sorted(spec.adversaries)}"
+            )
+            return 2
+        prover_factory = spec.adversaries[args.adversary]
+    try:
+        report = run_batch(
+            spec.protocol(c=args.c),
+            factory,
+            n_runs=args.runs,
+            n=args.n,
+            seed=args.seed,
+            prover_factory=prover_factory,
+            workers=args.workers,
+        )
+    except ValueError as exc:
+        print(f"bad batch parameters: {exc}")
+        return 2
+    print(report.summary())
+    lo, hi = report.rejection_wilson_95()
+    print(f"rejection:   {report.rejection_rate:.4f}  Wilson 95% [{lo:.4f}, {hi:.4f}]")
+    if report.cache_stats:
+        print(f"cache:       {report.cache_stats}")
+    if args.json:
+        payload = report.canonical_dict()
+        payload["timing"] = {
+            "wall_clock_total": report.wall_clock_total,
+            "wall_time_per_run": report.wall_time_per_run,
+            "workers": report.workers,
+        }
+        with open(args.json, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+        print(f"report:      {args.json}")
+    if expect_accept:
+        return 0 if report.acceptance_rate == 1.0 else 1
     return 0
 
 
@@ -206,7 +232,30 @@ def main(argv=None) -> int:
     p_sweep.add_argument("--seed", type=int, default=0)
     p_sweep.add_argument("--c", type=int, default=2)
     p_sweep.add_argument("--repeats", type=int, default=2)
+    p_sweep.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes (0 = serial; same results either way)",
+    )
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_batch = sub.add_parser(
+        "batch", help="aggregated batch of runs (soundness/completeness estimation)"
+    )
+    p_batch.add_argument("task", help=f"one of {', '.join(registry.task_names())}")
+    p_batch.add_argument("--runs", type=int, default=1000)
+    p_batch.add_argument("--n", type=int, default=128)
+    p_batch.add_argument("--seed", type=int, default=0)
+    p_batch.add_argument("--c", type=int, default=2, help="soundness constant")
+    p_batch.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes (0 = serial; same results either way)",
+    )
+    p_batch.add_argument("--no-instance", action="store_true")
+    p_batch.add_argument(
+        "--adversary", help="named cheating prover from the task's registry entry"
+    )
+    p_batch.add_argument("--json", help="write canonical report + timing to this file")
+    p_batch.set_defaults(func=cmd_batch)
 
     p_attack = sub.add_parser("attack", help="Theorem 1.8 cut-and-paste attack")
     p_attack.add_argument("--n", type=int, default=1024)

@@ -1,0 +1,34 @@
+"""Parallel batched protocol runtime with deterministic RNG streams.
+
+The pieces, bottom-up:
+
+* :mod:`~repro.runtime.seeds` — ``SeedSequence``, positional derivation of
+  per-run RNG streams (run ``i`` of seed ``s`` is the same stream on any
+  worker layout).
+* :mod:`~repro.runtime.cache` — ``InstanceCache`` / ``CachedFactory``,
+  memoizing graph construction keyed by ``(family, n, seed)``.
+* :mod:`~repro.runtime.runner` — ``BatchRunner``, sharding runs over a
+  process pool and aggregating ``BatchReport`` objects whose canonical
+  payload is byte-identical for serial and parallel execution.
+* :mod:`~repro.runtime.registry` — named, picklable task specs (protocol +
+  instance factories + adversaries) for the CLI, benchmarks, and examples.
+"""
+
+from .cache import CachedFactory, InstanceCache, process_cache
+from .registry import TaskSpec, get_task, task_names
+from .runner import BatchReport, BatchRunner, RunRecord
+from .seeds import SeedSequence, run_streams
+
+__all__ = [
+    "BatchReport",
+    "BatchRunner",
+    "CachedFactory",
+    "InstanceCache",
+    "RunRecord",
+    "SeedSequence",
+    "TaskSpec",
+    "get_task",
+    "process_cache",
+    "run_streams",
+    "task_names",
+]

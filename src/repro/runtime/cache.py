@@ -1,0 +1,130 @@
+"""Instance cache: memoize expensive graph construction across runs.
+
+Sweeps re-build the same random instances over and over (a size sweep at
+``n=1024`` followed by a soundness batch at ``n=1024`` with the same seed
+regenerates identical graphs, including the planarity / outerplanarity
+decompositions hiding inside the generators).  The cache memoizes
+construction keyed by ``(family, n, seed)`` — exactly the identity of a
+deterministic build — so repeated sweeps pay for each graph once.
+
+Each worker process holds its own process-local cache (graphs are not
+shipped between processes; the key is tiny and the build is replayable),
+which is also what keeps the parallel path deterministic: a cache *hit*
+returns an object byte-identical to what a miss would have built.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+CacheKey = Tuple[str, int, int]  # (family, n, seed)
+
+
+class InstanceCache:
+    """A bounded memo table for ``(family, n, seed) -> instance``.
+
+    ``maxsize=None`` means unbounded; otherwise insertion-order eviction
+    (FIFO) keeps at most ``maxsize`` instances alive.  Thread-safe so a
+    future thread-pool path can share it; the process-pool path gives each
+    worker its own.
+    """
+
+    def __init__(self, maxsize: Optional[int] = None):
+        if maxsize is not None and maxsize < 1:
+            raise ValueError("maxsize must be None or >= 1")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._store: Dict[CacheKey, Any] = {}
+        self._lock = threading.Lock()
+
+    def get_or_build(
+        self, key: CacheKey, builder: Callable[[], Any]
+    ) -> Any:
+        with self._lock:
+            if key in self._store:
+                self.hits += 1
+                return self._store[key]
+        value = builder()
+        with self._lock:
+            if key not in self._store:
+                self.misses += 1
+                self._store[key] = value
+                if self.maxsize is not None and len(self._store) > self.maxsize:
+                    self._store.pop(next(iter(self._store)))
+            else:
+                self.hits += 1
+                value = self._store[key]
+        return value
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._store
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._store)}
+
+
+#: default process-local cache; worker processes each get their own copy
+#: (it intentionally does NOT survive pickling — see CachedFactory).
+process_cache = InstanceCache(maxsize=4096)
+
+
+class CachedFactory:
+    """Wrap an instance factory ``(n, rng) -> instance`` with memoization.
+
+    The wrapped ``builder`` must be deterministic in ``(n, seed)`` when
+    driven by ``random.Random(seed)`` — true of every generator in
+    :mod:`repro.graphs.generators`.  Calling conventions:
+
+    * ``factory.build_seeded(n, seed)`` — the runner's entry point; cache
+      key is ``(family, n, seed)``.
+    * ``factory(n, rng)`` — drop-in for legacy ``(n, rng)`` factory slots;
+      draws a sub-seed from ``rng`` and delegates to ``build_seeded`` so
+      even ad-hoc callers share the cache.
+
+    A ``CachedFactory`` pickles as ``(family, builder, maxsize info)``
+    only: after a round-trip into a worker process it re-attaches to that
+    process's own cache (the module-global one if none was given), never
+    dragging cached graphs across the wire.
+    """
+
+    def __init__(
+        self,
+        family: str,
+        builder: Callable[[int, random.Random], Any],
+        cache: Optional[InstanceCache] = None,
+    ):
+        self.family = family
+        self.builder = builder
+        self.cache = cache if cache is not None else process_cache
+
+    def build_seeded(self, n: int, seed: int) -> Any:
+        return self.cache.get_or_build(
+            (self.family, n, seed),
+            lambda: self.builder(n, random.Random(seed)),
+        )
+
+    def __call__(self, n: int, rng: random.Random) -> Any:
+        return self.build_seeded(n, rng.getrandbits(64))
+
+    def __repr__(self) -> str:
+        return f"CachedFactory({self.family!r}, {self.builder!r})"
+
+    def __getstate__(self):
+        return {"family": self.family, "builder": self.builder}
+
+    def __setstate__(self, state):
+        self.family = state["family"]
+        self.builder = state["builder"]
+        self.cache = process_cache

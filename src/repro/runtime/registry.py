@@ -1,0 +1,286 @@
+"""Named, picklable task specs for the batched runtime.
+
+``ProcessPoolExecutor`` ships every task to workers by pickling it, and
+lambdas (the idiom of ``cli._tasks`` and the benchmark conftests) do not
+pickle.  This module is the process-safe catalogue: for every verification
+task it exposes module-level factory functions (yes-instances,
+no-instances) and adversary factories, bundled into :class:`TaskSpec`
+objects that the CLI, benchmarks, and examples can fan out across workers.
+
+Everything here is resolvable by name::
+
+    spec = get_task("path_outerplanarity")
+    runner = BatchRunner(spec.protocol(), spec.no_factory, workers=4)
+
+Names accept both underscore and hyphen forms (``path-outerplanarity``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..adversaries import (
+    ForcedWitnessProver,
+    FuzzingLRProver,
+    IndexLiarProver,
+    InnerBlockLiarProver,
+    StealthIndexLiarProver,
+    SwappedBlocksProver,
+)
+from ..core.network import norm_edge
+from ..graphs.generators import (
+    add_crossing_chord,
+    random_nonplanar,
+    random_not_treewidth2,
+    random_outerplanar,
+    random_path_outerplanar,
+    random_planar,
+    random_planar_embedding_instance,
+    random_planar_not_outerplanar,
+    random_series_parallel,
+    random_treewidth2,
+)
+from ..protocols.instances import (
+    LRSortingInstance,
+    OuterplanarInstance,
+    PathOuterplanarInstance,
+    PlanarEmbeddingInstance,
+    PlanarityInstance,
+    SeriesParallelInstance,
+    Treewidth2Instance,
+)
+from ..protocols.lr_sorting import LRSortingProtocol
+from ..protocols.outerplanarity import OuterplanarityProtocol
+from ..protocols.path_outerplanarity import PathOuterplanarityProtocol
+from ..protocols.planar_embedding import PlanarEmbeddingProtocol
+from ..protocols.planarity import PlanarityProtocol
+from ..protocols.series_parallel import SeriesParallelProtocol
+from ..protocols.treewidth2 import Treewidth2Protocol
+
+# -- yes-instance factories (all deterministic in (n, rng state)) ----------
+
+
+def path_outerplanarity_yes(n: int, rng: random.Random) -> PathOuterplanarInstance:
+    g, path = random_path_outerplanar(n, rng)
+    return PathOuterplanarInstance(g, witness_path=path)
+
+
+def outerplanarity_yes(n: int, rng: random.Random) -> OuterplanarInstance:
+    return OuterplanarInstance(random_outerplanar(n, rng))
+
+
+def planar_embedding_yes(n: int, rng: random.Random) -> PlanarEmbeddingInstance:
+    g, rot = random_planar_embedding_instance(max(4, n), rng)
+    return PlanarEmbeddingInstance(g, rot)
+
+
+def planarity_yes(n: int, rng: random.Random) -> PlanarityInstance:
+    return PlanarityInstance(random_planar(max(4, n), rng))
+
+
+def series_parallel_yes(n: int, rng: random.Random) -> SeriesParallelInstance:
+    return SeriesParallelInstance(random_series_parallel(n, rng))
+
+
+def treewidth2_yes(n: int, rng: random.Random) -> Treewidth2Instance:
+    return Treewidth2Instance(random_treewidth2(max(3, n), rng))
+
+
+def lr_sorting_yes(n: int, rng: random.Random) -> LRSortingInstance:
+    return lr_sorting_instance(n, rng, flip_edges=0)
+
+
+def lr_sorting_instance(
+    n: int, rng: random.Random, flip_edges: int = 0, density: float = 0.5
+) -> LRSortingInstance:
+    """Random LR-sorting instance; ``flip_edges`` back edges make it a no."""
+    g, path = random_path_outerplanar(n, rng, density=density)
+    pos = {v: i for i, v in enumerate(path)}
+    path_edges = {norm_edge(path[i], path[i + 1]) for i in range(n - 1)}
+    orientation = {}
+    non_path = [e for e in g.edges() if e not in path_edges]
+    rng.shuffle(non_path)
+    for k, (u, v) in enumerate(non_path):
+        t, h = (u, v) if pos[u] < pos[v] else (v, u)
+        if k < flip_edges:
+            t, h = h, t
+        orientation[norm_edge(u, v)] = (t, h)
+    return LRSortingInstance(g, path, orientation)
+
+
+# -- no-instance factories --------------------------------------------------
+
+
+def path_outerplanarity_no(n: int, rng: random.Random) -> PathOuterplanarInstance:
+    """Crossing-chord no-instance; keeps the (now useless) witness path so
+    witness-abusing adversaries like ForcedWitnessProver can run."""
+    g, path = random_path_outerplanar(n, rng, density=0.6)
+    return PathOuterplanarInstance(add_crossing_chord(g, path, rng), witness_path=path)
+
+
+def outerplanarity_no(n: int, rng: random.Random) -> OuterplanarInstance:
+    return OuterplanarInstance(random_planar_not_outerplanar(n, rng))
+
+
+def planarity_no(n: int, rng: random.Random) -> PlanarityInstance:
+    return PlanarityInstance(random_nonplanar(n, rng))
+
+
+def series_parallel_no(n: int, rng: random.Random) -> SeriesParallelInstance:
+    return SeriesParallelInstance(random_not_treewidth2(n, rng))
+
+
+def treewidth2_no(n: int, rng: random.Random) -> Treewidth2Instance:
+    return Treewidth2Instance(random_not_treewidth2(n, rng))
+
+
+def lr_sorting_no(n: int, rng: random.Random) -> LRSortingInstance:
+    return lr_sorting_instance(n, rng, flip_edges=1)
+
+
+# -- adversary factories ----------------------------------------------------
+
+
+def forced_witness_prover(instance: PathOuterplanarInstance) -> ForcedWitnessProver:
+    if instance.witness_path is None:
+        raise ValueError("ForcedWitnessProver needs an instance with a witness path")
+    return ForcedWitnessProver(instance, forced_path=instance.witness_path)
+
+
+class SeededFuzzingProver:
+    """Picklable factory for :class:`FuzzingLRProver` at a fixed round.
+
+    The fuzz RNG comes from the run's own stream (the runner passes it when
+    the factory sets ``wants_rng``), so a fuzzed batch replays exactly.
+    """
+
+    wants_rng = True
+
+    def __init__(self, target_round: int = 1):
+        self.target_round = target_round
+
+    def __call__(self, instance, rng: random.Random) -> FuzzingLRProver:
+        return FuzzingLRProver(instance, fuzz_rng=rng, target_round=self.target_round)
+
+    def __repr__(self) -> str:
+        return f"SeededFuzzingProver(target_round={self.target_round})"
+
+
+# -- the catalogue ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Everything the runtime needs to batch one verification task."""
+
+    name: str
+    protocol: Callable[..., object]  # protocol class; call with c=...
+    yes_factory: Callable[[int, random.Random], object]
+    no_factory: Optional[Callable[[int, random.Random], object]] = None
+    instance_cls: Optional[type] = None
+    #: name -> prover factory, each taking (instance) or (instance, rng)
+    adversaries: Dict[str, Callable] = field(default_factory=dict)
+
+
+_TASKS: Dict[str, TaskSpec] = {}
+
+
+def _register(spec: TaskSpec) -> TaskSpec:
+    _TASKS[spec.name] = spec
+    return spec
+
+
+_register(
+    TaskSpec(
+        name="path_outerplanarity",
+        protocol=PathOuterplanarityProtocol,
+        yes_factory=path_outerplanarity_yes,
+        no_factory=path_outerplanarity_no,
+        instance_cls=PathOuterplanarInstance,
+        adversaries={"forced_witness": forced_witness_prover},
+    )
+)
+_register(
+    TaskSpec(
+        name="outerplanarity",
+        protocol=OuterplanarityProtocol,
+        yes_factory=outerplanarity_yes,
+        no_factory=outerplanarity_no,
+        instance_cls=OuterplanarInstance,
+    )
+)
+_register(
+    TaskSpec(
+        name="planar_embedding",
+        protocol=PlanarEmbeddingProtocol,
+        yes_factory=planar_embedding_yes,
+        instance_cls=None,
+    )
+)
+_register(
+    TaskSpec(
+        name="planarity",
+        protocol=PlanarityProtocol,
+        yes_factory=planarity_yes,
+        no_factory=planarity_no,
+        instance_cls=PlanarityInstance,
+    )
+)
+_register(
+    TaskSpec(
+        name="series_parallel",
+        protocol=SeriesParallelProtocol,
+        yes_factory=series_parallel_yes,
+        no_factory=series_parallel_no,
+        instance_cls=SeriesParallelInstance,
+    )
+)
+_register(
+    TaskSpec(
+        name="treewidth2",
+        protocol=Treewidth2Protocol,
+        yes_factory=treewidth2_yes,
+        no_factory=treewidth2_no,
+        instance_cls=Treewidth2Instance,
+    )
+)
+_register(
+    TaskSpec(
+        name="lr_sorting",
+        protocol=LRSortingProtocol,
+        yes_factory=lr_sorting_yes,
+        no_factory=lr_sorting_no,
+        instance_cls=LRSortingInstance,
+        adversaries={
+            "swapped_blocks": SwappedBlocksProver,
+            "inner_block_liar": InnerBlockLiarProver,
+            "index_liar": IndexLiarProver,
+            "stealth_index_liar": StealthIndexLiarProver,
+            "fuzzing_r1": SeededFuzzingProver(target_round=1),
+            "fuzzing_r3": SeededFuzzingProver(target_round=3),
+            "fuzzing_r5": SeededFuzzingProver(target_round=5),
+        },
+    )
+)
+
+
+#: historical CLI spellings -> registry names
+_ALIASES = {"treewidth_2": "treewidth2", "series_parallel": "series_parallel"}
+
+
+def canonical_name(name: str) -> str:
+    key = name.replace("-", "_")
+    return _ALIASES.get(key, key)
+
+
+def get_task(name: str) -> TaskSpec:
+    key = canonical_name(name)
+    if key not in _TASKS:
+        raise KeyError(f"unknown task {name!r}; choose from {sorted(_TASKS)}")
+    return _TASKS[key]
+
+
+def task_names() -> Tuple[str, ...]:
+    return tuple(sorted(_TASKS))

@@ -1,0 +1,321 @@
+"""BatchRunner: fan protocol executions across processes, reproducibly.
+
+The runner takes a protocol, an instance factory, and a run count, shards
+the runs over a ``ProcessPoolExecutor``, and aggregates per-run results
+into one :class:`BatchReport`.  Three invariants drive the design:
+
+1. **Determinism** — run ``i`` of a batch with master seed ``s`` derives
+   all of its randomness from ``SeedSequence(s).child(i)`` (see
+   :mod:`repro.runtime.seeds`), so the set of per-run transcripts is
+   identical whether the batch executes with ``workers=0`` (serially, in
+   process) or on any number of workers.  ``BatchReport.canonical_json()``
+   contains only this deterministic payload; wall-clock timings live next
+   to it but outside the canonical identity.
+2. **Picklability** — with ``workers > 0`` the protocol, instance factory
+   and prover factory cross a process boundary; use module-level
+   functions (e.g. from :mod:`repro.runtime.registry`) rather than
+   lambdas or closures.
+3. **Failure transparency** — an exception in any run aborts the batch
+   and re-raises the *original* exception in the caller (no hangs, no
+   swallowed stack traces); a worker process dying outright surfaces as a
+   ``RuntimeError`` naming the batch.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .cache import CachedFactory
+from .seeds import SeedSequence
+
+try:  # pragma: no cover - exercised only when a worker dies hard
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover
+    BrokenProcessPool = None
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Deterministic outcome of one run, plus its (non-canonical) timing."""
+
+    index: int
+    accepted: bool
+    proof_size_bits: int
+    n_rounds: int
+    n_rejecting: int
+    wall_time: float  # seconds; excluded from canonical identity
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "accepted": self.accepted,
+            "proof_size_bits": self.proof_size_bits,
+            "n_rounds": self.n_rounds,
+            "n_rejecting": self.n_rejecting,
+        }
+
+
+@dataclass
+class BatchReport:
+    """Aggregated outcome of a batch of runs.
+
+    Everything in :meth:`canonical_dict` is a pure function of
+    ``(protocol, factories, n, n_runs, master_seed)`` — byte-identical
+    across serial and parallel execution.  ``wall_clock_total``,
+    ``wall_time_per_run`` and ``workers`` describe how this particular
+    execution went and are reported separately.
+    """
+
+    protocol_name: str
+    n: int
+    n_runs: int
+    master_seed: int
+    records: List[RunRecord]
+    workers: int = 0
+    wall_clock_total: float = 0.0
+    cache_stats: Optional[Dict[str, int]] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    # -- aggregates -------------------------------------------------------
+
+    @property
+    def n_accepted(self) -> int:
+        return sum(r.accepted for r in self.records)
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.n_accepted / len(self.records) if self.records else math.nan
+
+    @property
+    def rejection_rate(self) -> float:
+        return 1.0 - self.acceptance_rate
+
+    @property
+    def proof_size_max(self) -> int:
+        return max((r.proof_size_bits for r in self.records), default=0)
+
+    @property
+    def proof_size_mean(self) -> float:
+        if not self.records:
+            return math.nan
+        return sum(r.proof_size_bits for r in self.records) / len(self.records)
+
+    @property
+    def rounds_max(self) -> int:
+        return max((r.n_rounds for r in self.records), default=0)
+
+    @property
+    def wall_time_per_run(self) -> float:
+        if not self.records:
+            return math.nan
+        return sum(r.wall_time for r in self.records) / len(self.records)
+
+    def acceptance_wilson_95(self) -> Tuple[float, float]:
+        # imported lazily: analysis.experiments itself builds on this module
+        from ..analysis.metrics import wilson_interval
+
+        return wilson_interval(self.n_accepted, len(self.records))
+
+    def rejection_wilson_95(self) -> Tuple[float, float]:
+        from ..analysis.metrics import wilson_interval
+
+        return wilson_interval(
+            len(self.records) - self.n_accepted, len(self.records)
+        )
+
+    # -- canonical payload ------------------------------------------------
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The deterministic payload: identical for serial vs. parallel."""
+        return {
+            "protocol": self.protocol_name,
+            "n": self.n,
+            "n_runs": self.n_runs,
+            "master_seed": self.master_seed,
+            "acceptance_rate": self.acceptance_rate,
+            "proof_size_max": self.proof_size_max,
+            "proof_size_mean": self.proof_size_mean,
+            "rounds_max": self.rounds_max,
+            "records": [r.canonical_dict() for r in self.records],
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.canonical_dict(), sort_keys=True, separators=(",", ":"))
+
+    def summary(self) -> str:
+        lo, hi = self.acceptance_wilson_95()
+        return (
+            f"{self.protocol_name}: {self.n_runs} runs @ n={self.n} "
+            f"(seed {self.master_seed}, workers={self.workers}) | "
+            f"accept {self.acceptance_rate:.4f} [{lo:.4f}, {hi:.4f}] | "
+            f"proof max/mean {self.proof_size_max}/{self.proof_size_mean:.1f} b | "
+            f"{self.wall_clock_total:.2f}s total, "
+            f"{self.wall_time_per_run * 1000:.1f} ms/run"
+        )
+
+
+@dataclass
+class _BatchSpec:
+    """Everything a worker needs to execute a shard (must pickle)."""
+
+    protocol: Any
+    instance_factory: Callable
+    prover_factory: Optional[Callable]
+    n: int
+    master_seed: int
+
+
+def _build_instance(spec: _BatchSpec, instance_seed: int):
+    factory = spec.instance_factory
+    if isinstance(factory, CachedFactory) or hasattr(factory, "build_seeded"):
+        return factory.build_seeded(spec.n, instance_seed)
+    import random
+
+    return factory(spec.n, random.Random(instance_seed))
+
+
+def _execute_runs(spec: _BatchSpec, indices: Sequence[int]) -> Tuple[List[RunRecord], Optional[Dict[str, int]]]:
+    """Execute the given run indices; the unit of work a worker receives."""
+    master = SeedSequence(spec.master_seed)
+    cache = getattr(spec.instance_factory, "cache", None)
+    stats_before = cache.stats() if cache is not None else None
+    records = []
+    for i in indices:
+        run_ss = master.child(i)
+        t0 = time.perf_counter()
+        instance = _build_instance(spec, run_ss.child("instance").seed_int())
+        prover = None
+        if spec.prover_factory is not None:
+            if getattr(spec.prover_factory, "wants_rng", False):
+                prover = spec.prover_factory(
+                    instance, run_ss.child("adversary").rng()
+                )
+            else:
+                prover = spec.prover_factory(instance)
+        result = spec.protocol.execute(
+            instance, prover=prover, rng=run_ss.child("protocol").rng()
+        )
+        records.append(
+            RunRecord(
+                index=i,
+                accepted=result.accepted,
+                proof_size_bits=result.proof_size_bits,
+                n_rounds=result.n_rounds,
+                n_rejecting=len(result.rejecting_nodes),
+                wall_time=time.perf_counter() - t0,
+            )
+        )
+    stats_delta = None
+    if stats_before is not None:
+        after = cache.stats()
+        stats_delta = {
+            "hits": after["hits"] - stats_before["hits"],
+            "misses": after["misses"] - stats_before["misses"],
+        }
+    return records, stats_delta
+
+
+class BatchRunner:
+    """Shard a batch of protocol runs across worker processes.
+
+    ``workers=0`` executes serially in-process (the reference path that
+    tier-1 tests pin the parallel path against); ``workers>=1`` uses a
+    ``ProcessPoolExecutor`` with that many processes.  ``chunk_size``
+    controls shard granularity (default: ~4 shards per worker).
+    """
+
+    def __init__(
+        self,
+        protocol,
+        instance_factory: Callable,
+        *,
+        prover_factory: Optional[Callable] = None,
+        workers: int = 0,
+        chunk_size: Optional[int] = None,
+    ):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.protocol = protocol
+        self.instance_factory = instance_factory
+        self.prover_factory = prover_factory
+        self.workers = workers
+        self.chunk_size = chunk_size
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, n_runs: int, n: int, seed: int = 0) -> BatchReport:
+        if n_runs < 1:
+            raise ValueError("n_runs must be >= 1")
+        spec = _BatchSpec(
+            protocol=self.protocol,
+            instance_factory=self.instance_factory,
+            prover_factory=self.prover_factory,
+            n=n,
+            master_seed=seed,
+        )
+        t0 = time.perf_counter()
+        if self.workers == 0:
+            records, cache_stats = _execute_runs(spec, range(n_runs))
+        else:
+            records, cache_stats = self._run_parallel(spec, n_runs)
+        records.sort(key=lambda r: r.index)
+        return BatchReport(
+            protocol_name=getattr(self.protocol, "name", type(self.protocol).__name__),
+            n=n,
+            n_runs=n_runs,
+            master_seed=seed,
+            records=records,
+            workers=self.workers,
+            wall_clock_total=time.perf_counter() - t0,
+            cache_stats=cache_stats,
+        )
+
+    def _run_parallel(
+        self, spec: _BatchSpec, n_runs: int
+    ) -> Tuple[List[RunRecord], Optional[Dict[str, int]]]:
+        chunk = self.chunk_size or max(1, math.ceil(n_runs / (self.workers * 4)))
+        shards = [
+            list(range(lo, min(lo + chunk, n_runs)))
+            for lo in range(0, n_runs, chunk)
+        ]
+        records: List[RunRecord] = []
+        cache_stats: Optional[Dict[str, int]] = None
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = [pool.submit(_execute_runs, spec, shard) for shard in shards]
+            try:
+                done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+                first_exc = None
+                for fut in done:
+                    exc = fut.exception()
+                    if exc is not None and first_exc is None:
+                        first_exc = exc
+                if first_exc is not None:
+                    raise first_exc
+                for fut in futures:
+                    shard_records, shard_stats = fut.result()
+                    records.extend(shard_records)
+                    if shard_stats is not None:
+                        if cache_stats is None:
+                            cache_stats = {"hits": 0, "misses": 0}
+                        cache_stats["hits"] += shard_stats["hits"]
+                        cache_stats["misses"] += shard_stats["misses"]
+            except BaseException as exc:
+                for fut in futures:
+                    fut.cancel()
+                if BrokenProcessPool is not None and isinstance(
+                    exc, BrokenProcessPool
+                ):
+                    raise RuntimeError(
+                        f"a worker process died while batching "
+                        f"{getattr(self.protocol, 'name', '?')} "
+                        f"(n={spec.n}, seed={spec.master_seed})"
+                    ) from exc
+                raise
+        return records, cache_stats

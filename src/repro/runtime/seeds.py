@@ -1,0 +1,124 @@
+"""Deterministic RNG streams for batched protocol runs.
+
+Parallel soundness estimation is only trustworthy if it is *replayable*:
+a batch of runs with master seed ``s`` must produce the same per-run
+transcripts whether the runs execute serially, on 2 workers, or on 32.
+Python's ``random.Random(seed + i)`` idiom does not survive that
+requirement once seeds are threaded through shared generator state (the
+seed of run ``i`` would depend on how many random bits earlier runs
+consumed), so the runtime derives every stream *positionally*, in the
+style of NumPy's ``SeedSequence``:
+
+    master = SeedSequence(seed)
+    run_i  = master.child(i)               # independent of runs j != i
+    instance_rng = run_i.child("instance").rng()
+    protocol_rng = run_i.child("protocol").rng()
+
+Each child is identified by the full path of keys from the root, hashed
+with SHA-256, so streams are independent of execution order, worker
+assignment, and of one another.  Everything here is pure stdlib and
+picklable, which the process-pool path of :mod:`repro.runtime.runner`
+relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterable, List, Tuple, Union
+
+_DOMAIN = b"repro.runtime.seeds/v1"
+
+Key = Union[int, str]
+
+
+def _encode_key(key: Key) -> bytes:
+    if isinstance(key, bool) or not isinstance(key, (int, str)):
+        raise TypeError(f"spawn keys must be int or str, got {key!r}")
+    tag = b"i:" if isinstance(key, int) else b"s:"
+    return tag + str(key).encode("utf-8")
+
+
+class SeedSequence:
+    """A node in a deterministic tree of RNG streams.
+
+    ``entropy`` is the user-facing master seed; ``spawn_key`` is the path
+    of child keys leading from the root to this node.  Two sequences are
+    interchangeable iff ``(entropy, spawn_key)`` match, regardless of how
+    (or in which process) they were derived.
+    """
+
+    __slots__ = ("entropy", "spawn_key")
+
+    def __init__(self, entropy: int, spawn_key: Tuple[Key, ...] = ()):
+        if isinstance(entropy, bool) or not isinstance(entropy, int):
+            raise TypeError(f"entropy must be an int, got {entropy!r}")
+        self.entropy = entropy
+        self.spawn_key = tuple(spawn_key)
+        for key in self.spawn_key:
+            _encode_key(key)  # validate eagerly
+
+    # -- derivation -------------------------------------------------------
+
+    def child(self, key: Key) -> "SeedSequence":
+        """The child stream at ``key`` (order- and sibling-independent)."""
+        return SeedSequence(self.entropy, self.spawn_key + (key,))
+
+    def spawn(self, n: int) -> List["SeedSequence"]:
+        """The first ``n`` integer-keyed children."""
+        return [self.child(i) for i in range(n)]
+
+    def descend(self, keys: Iterable[Key]) -> "SeedSequence":
+        node = self
+        for key in keys:
+            node = node.child(key)
+        return node
+
+    # -- materialisation --------------------------------------------------
+
+    def seed_int(self) -> int:
+        """A 256-bit integer digest of the (entropy, path) identity."""
+        h = hashlib.sha256(_DOMAIN)
+        h.update(_encode_key(self.entropy))
+        for key in self.spawn_key:
+            h.update(b"/")
+            h.update(_encode_key(key))
+        return int.from_bytes(h.digest(), "big")
+
+    def rng(self) -> random.Random:
+        """A fresh ``random.Random`` seeded from this stream."""
+        return random.Random(self.seed_int())
+
+    # -- plumbing ---------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, SeedSequence)
+            and self.entropy == other.entropy
+            and self.spawn_key == other.spawn_key
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.entropy, self.spawn_key))
+
+    def __repr__(self) -> str:
+        return f"SeedSequence({self.entropy}, spawn_key={self.spawn_key!r})"
+
+    def __getstate__(self):
+        return (self.entropy, self.spawn_key)
+
+    def __setstate__(self, state):
+        self.entropy, self.spawn_key = state
+
+
+def run_streams(master_seed: int, run_index: int) -> Tuple[int, random.Random]:
+    """The per-run ``(instance_seed, protocol_rng)`` pair used by the runner.
+
+    Exposed as a function so tests, docs, and external tools can reproduce
+    any single run of a batch without instantiating a runner:  run ``i`` of
+    a batch with master seed ``s`` builds its instance from
+    ``random.Random(instance_seed)`` and executes the protocol with
+    ``protocol_rng``.
+    """
+    run_ss = SeedSequence(master_seed).child(run_index)
+    return run_ss.child("instance").seed_int(), run_ss.child("protocol").rng()

@@ -1,8 +1,21 @@
-"""Shared helpers for the test suite."""
+"""Shared helpers for the test suite.
+
+The suite is split into a *fast* tier (`pytest -m "not slow"`, seconds)
+and a *slow* tier holding the Monte Carlo soundness regressions and
+growth-law fits.  `slow` is applied explicitly; everything else gets the
+`fast` marker automatically below, so `-m fast` and `-m "not slow"` agree.
+A plain `pytest` run still executes both tiers.
+"""
 
 import random
 
 import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if item.get_closest_marker("slow") is None:
+            item.add_marker(pytest.mark.fast)
 
 from repro.core.network import Graph, norm_edge
 from repro.graphs.generators import random_path_outerplanar

@@ -94,6 +94,7 @@ class TestPLSPlanarity:
 
 
 class TestExponentialGap:
+    @pytest.mark.slow
     def test_dip_beats_pls_growth(self):
         """The headline: across 5 doublings of n, the 5-round DIP's size is
         nearly flat while the 1-round PLS grows by exactly 3 bits per

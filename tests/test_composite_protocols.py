@@ -211,6 +211,7 @@ class TestRoundsAndSizes:
             ),
         ],
     )
+    @pytest.mark.slow
     def test_five_rounds_and_flat_growth(self, proto_factory, instance_factory):
         rng = random.Random(13)
         proto = proto_factory()

@@ -143,6 +143,7 @@ class TestKuratowski:
 
 
 class TestRoundTruncationAblation:
+    @pytest.mark.slow
     def test_truncation_is_complete_but_unsound(self):
         from repro.adversaries import StealthIndexLiarProver
         from repro.protocols.lr_sorting import LRSortingProtocol

@@ -16,6 +16,7 @@ from conftest import make_lr_instance
 
 
 @pytest.mark.parametrize("target_round", [1, 3, 5])
+@pytest.mark.slow
 def test_single_field_corruption_rejected(target_round):
     rng = random.Random(target_round)
     proto = LRSortingProtocol(c=2)

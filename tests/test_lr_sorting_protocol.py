@@ -68,6 +68,7 @@ class TestCompleteness:
 
 
 class TestProofSize:
+    @pytest.mark.slow
     def test_loglog_growth(self):
         rng = random.Random(1)
         proto = LRSortingProtocol(c=2)
@@ -113,6 +114,7 @@ class TestSoundness:
             (IndexLiarProver, 1),
         ],
     )
+    @pytest.mark.slow
     def test_adversaries_caught(self, adversary, needs_flip):
         rng = random.Random(5)
         proto = LRSortingProtocol(c=2)
@@ -124,6 +126,7 @@ class TestSoundness:
             rejected += not res.accepted
         assert rejected >= trials - 1  # 1/polylog n soundness slack
 
+    @pytest.mark.slow
     def test_soundness_error_shrinks_with_c(self):
         """Larger c -> larger fields -> lower acceptance of cheats.
         (Statistical smoke test on the inner-block nonce collision.)"""

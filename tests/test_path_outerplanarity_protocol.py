@@ -113,6 +113,7 @@ class TestSoundness:
 
 
 class TestProofSize:
+    @pytest.mark.slow
     def test_loglog_growth(self):
         rng = random.Random(14)
         proto = PathOuterplanarityProtocol(c=2)

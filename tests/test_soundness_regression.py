@@ -1,0 +1,62 @@
+"""Slow Monte Carlo soundness regression suite.
+
+Every cheating prover registered in ``repro.runtime.registry`` (i.e. the
+adversary suite of ``src/repro/adversaries/``) has a rejection-rate floor
+recorded in ``tests/data/soundness_floors.json``.  The batches run through
+:class:`repro.runtime.BatchRunner` with fixed master seeds, so they are
+exactly reproducible; a floor violation is a genuine soundness regression
+in protocol or adversary code, not sampling noise.
+
+Run with ``pytest -m slow`` (excluded from the fast suite).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import BatchRunner, get_task, task_names
+
+FLOORS_PATH = Path(__file__).parent / "data" / "soundness_floors.json"
+
+with FLOORS_PATH.open() as f:
+    FLOORS = json.load(f)["floors"]
+
+pytestmark = pytest.mark.slow
+
+
+def _floor_id(entry):
+    return f"{entry['task']}:{entry['adversary']}"
+
+
+def test_every_registered_adversary_has_a_floor():
+    """Adding an adversary without recording its floor fails the suite."""
+    covered = {(e["task"], e["adversary"]) for e in FLOORS}
+    registered = {
+        (name, adv_name)
+        for name in task_names()
+        for adv_name in get_task(name).adversaries
+    }
+    missing = registered - covered
+    assert not missing, (
+        f"adversaries without a soundness floor in {FLOORS_PATH.name}: "
+        f"{sorted(missing)}"
+    )
+
+
+@pytest.mark.parametrize("entry", FLOORS, ids=_floor_id)
+def test_rejection_rate_meets_floor(entry):
+    spec = get_task(entry["task"])
+    factory = spec.yes_factory if entry["instances"] == "yes" else spec.no_factory
+    assert factory is not None, f"{entry['task']} has no {entry['instances']}-factory"
+    prover_factory = spec.adversaries[entry["adversary"]]
+    report = BatchRunner(
+        spec.protocol(c=2), factory, prover_factory=prover_factory
+    ).run(entry["runs"], entry["n"], seed=entry["seed"])
+    lo, hi = report.rejection_wilson_95()
+    assert report.rejection_rate >= entry["min_rejection_rate"], (
+        f"{_floor_id(entry)}: rejection rate {report.rejection_rate:.4f} "
+        f"(Wilson 95% [{lo:.4f}, {hi:.4f}]) fell below the recorded floor "
+        f"{entry['min_rejection_rate']} over {entry['runs']} runs at "
+        f"n={entry['n']}, seed={entry['seed']}"
+    )
