@@ -13,6 +13,13 @@ from .clustering import (
     k5_with_padding,
 )
 from .fuzzing import FuzzingLRProver
+from .mutation import (
+    MUTATION_OPS,
+    MutatingProver,
+    MutationRecord,
+    MutationTap,
+    SeededMutatingProver,
+)
 from .path_adversaries import ForcedWitnessProver
 
 __all__ = [
@@ -26,4 +33,9 @@ __all__ = [
     "clustering_attack_accepts",
     "ForcedWitnessProver",
     "FuzzingLRProver",
+    "MUTATION_OPS",
+    "MutatingProver",
+    "MutationRecord",
+    "MutationTap",
+    "SeededMutatingProver",
 ]

@@ -1,84 +1,52 @@
 """Field-level fuzzing provers: checker-coverage under random corruption.
 
 A strong property of a local verification scheme is that *every* field of
-every honest label is load-bearing: flip one and some node notices.  The
-fuzzing provers wrap the honest prover and corrupt a single numeric field
-in a single round.  The test suite and benchmarks measure the rejection
-rate -- it sits at ~1.0 for the LR-sorting protocol (each field feeds a
-deterministic recurrence or a field equation some neighbor re-derives).
+every honest label is load-bearing: flip one and some node notices.
+Historically this module carried a bespoke LR-sorting fuzzer that
+re-randomized one numeric dict field inside the prover's own messages;
+it is now a thin veneer over the protocol-agnostic mutation engine in
+:mod:`repro.adversaries.mutation`, which corrupts the built
+:class:`~repro.core.labels.Label` objects on the wire instead.  The
+public surface is unchanged: ``FuzzingLRProver(instance, fuzz_rng,
+target_round)`` with a ``corrupted`` 5-tuple after the run.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..protocols.lr_sorting import HonestLRSortingProver
+from .mutation import MutatingProver
 
 
-class FuzzingLRProver(HonestLRSortingProver):
+class FuzzingLRProver(MutatingProver):
     """Honest LR prover with one random field corrupted in one round.
 
     ``target_round`` in {1, 3, 5}; the corrupted field is chosen uniformly
-    among all (node/edge, field) pairs of that round's message; the value
-    is re-randomized within the field's natural range.
+    among all (node/edge, field) wire slots of that round's message; the
+    value is re-randomized within the field's declared width, guaranteed
+    different from the honest value.
+
+    ``corrupted`` is ``None`` if the target round had nothing to corrupt,
+    else ``(kind, owner, key, old, new)`` with ``kind`` in
+    ``("node", "edge")`` and ``key`` the (dotted) field path.
     """
 
     def __init__(self, instance, fuzz_rng: random.Random, target_round: int):
-        super().__init__(instance)
+        super().__init__(
+            instance,
+            HonestLRSortingProver(instance),
+            fuzz_rng,
+            target_round=target_round,
+            op="rerandomize",
+        )
         self.fuzz_rng = fuzz_rng
         self.target_round = target_round
-        self.corrupted: Optional[Tuple] = None
 
-    def _corrupt(self, node_fields: Dict, edge_fields: Optional[Dict]):
-        rng = self.fuzz_rng
-        pool = []
-        for v, fields in node_fields.items():
-            for key, value in fields.items():
-                if isinstance(value, int) and not isinstance(value, bool):
-                    pool.append(("node", v, key))
-        for e, fields in (edge_fields or {}).items():
-            for key, value in fields.items():
-                if isinstance(value, int) and not isinstance(value, bool):
-                    pool.append(("edge", e, key))
-        if not pool:
-            return
-        kind, owner, key = rng.choice(pool)
-        store = node_fields[owner] if kind == "node" else edge_fields[owner]
-        old = store[key]
-        # re-randomize within a plausible range, guaranteed different
-        new = old
-        while new == old:
-            new = rng.randrange(max(2, old + 2) * 2)
-        # keep tiny fields in range (bits, sides)
-        if key in ("x1bit", "x2bit"):
-            new = 1 - old
-        elif key == "side":
-            new = (old + 1 + rng.randrange(2)) % 3
-        elif key in ("idx", "I", "M"):
-            new = max(0, old + rng.choice([-1, 1]))
-        else:
-            # field elements: stay inside F_p / F_p2
-            pm = self.params
-            mod = pm.p2 if key in ("rq0", "rq1", "A0", "A1", "B0", "B1") else pm.p
-            new = (old + 1 + rng.randrange(mod - 1)) % mod
-        store[key] = new
-        self.corrupted = (kind, owner, key, old, new)
-
-    def round1(self):
-        nodes, edges = super().round1()
-        if self.target_round == 1:
-            self._corrupt(nodes, edges)
-        return nodes, edges
-
-    def round3(self, coins):
-        nodes, edges = super().round3(coins)
-        if self.target_round == 3:
-            self._corrupt(nodes, edges)
-        return nodes, edges
-
-    def round5(self, coins):
-        nodes = super().round5(coins)
-        if self.target_round == 5:
-            self._corrupt(nodes, None)
-        return nodes
+    @property
+    def corrupted(self) -> Optional[Tuple]:
+        rec = self.mutation
+        if rec is None:
+            return None
+        return (rec.site_kind, rec.owner, rec.path_str, rec.old, rec.new)

@@ -7,6 +7,12 @@ from .experiments import (
     size_sweep,
     soundness_sweep,
 )
+from .fuzz_coverage import (
+    CAUGHT_BY,
+    FieldCoverage,
+    FuzzCoverageReport,
+    fuzz_coverage,
+)
 from .metrics import (
     LinearFit,
     acceptance_stats,

@@ -4,6 +4,7 @@
     python -m repro run planarity --n 200 --no-instance
     python -m repro sweep outerplanarity --ns 64,256,1024 --workers 4
     python -m repro batch planarity --runs 10000 --n 128 --workers 8
+    python -m repro fuzz --task treewidth2 --round 3 --trials 60
     python -m repro attack --n 1024 --bits 6
     python -m repro run planarity --edges graph.txt   # one "u v" pair per line
 
@@ -188,6 +189,49 @@ def cmd_batch(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from .adversaries.mutation import MUTATION_OPS
+    from .analysis.fuzz_coverage import fuzz_coverage
+    from .runtime.registry import FUZZ_ROUNDS
+
+    if args.round == "all":
+        rounds = list(FUZZ_ROUNDS)
+    else:
+        try:
+            rounds = [int(args.round)]
+        except ValueError:
+            print(f"bad --round {args.round!r}: expected one of 1/3/5 or 'all'")
+            return 2
+        if rounds[0] not in FUZZ_ROUNDS:
+            print(f"bad --round {rounds[0]}: prover rounds are {FUZZ_ROUNDS}")
+            return 2
+    if args.op != "random" and args.op not in MUTATION_OPS:
+        print(f"unknown --op {args.op!r}; choose from {MUTATION_OPS} or 'random'")
+        return 2
+    try:
+        report = fuzz_coverage(
+            args.task,
+            rounds=rounds,
+            n=args.n,
+            trials=args.trials,
+            seed=args.seed,
+            op=args.op,
+            workers=args.workers,
+        )
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+    print(report.format_table())
+    if args.json:
+        with open(args.json, "w") as f:
+            f.write(report.to_json(indent=2))
+        print(f"report: {args.json}")
+    if not report.honest_ok:
+        print("FAIL: honest control runs did not all accept")
+        return 1
+    return 0
+
+
 def cmd_attack(args) -> int:
     from .lowerbound import CutAndPasteAttack, TruncatedPositionScheme
     from .lowerbound.cut_and_paste import views_preserved
@@ -256,6 +300,28 @@ def main(argv=None) -> int:
     )
     p_batch.add_argument("--json", help="write canonical report + timing to this file")
     p_batch.set_defaults(func=cmd_batch)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="single-field label fuzzing: per-field checker-coverage matrix",
+    )
+    p_fuzz.add_argument("--task", required=True,
+                        help=f"one of {', '.join(registry.task_names())}")
+    p_fuzz.add_argument("--round", default="all",
+                        help="prover round to mutate: 1, 3, 5, or 'all'")
+    p_fuzz.add_argument("--n", type=int, default=64)
+    p_fuzz.add_argument("--trials", type=int, default=40,
+                        help="mutated runs per round (plus one honest control batch)")
+    p_fuzz.add_argument("--seed", type=int, default=2025)
+    p_fuzz.add_argument("--op", default="random",
+                        help="mutation operator: bit_flip, rerandomize, "
+                             "swap_between_nodes, zero_out, or random")
+    p_fuzz.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes (0 = serial; same results either way)",
+    )
+    p_fuzz.add_argument("--json", help="write the coverage matrix to this file")
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_attack = sub.add_parser("attack", help="Theorem 1.8 cut-and-paste attack")
     p_attack.add_argument("--n", type=int, default=1024)

@@ -32,6 +32,9 @@ from typing import Dict, Iterator, Optional, Tuple, Union
 
 FieldValue = Union[int, bool, "Label", "BitString", None]
 
+#: a path into a (possibly nested) label: one name per nesting level
+FieldPath = Tuple[str, ...]
+
 
 def uint_width(max_value: int) -> int:
     """Number of bits needed to store integers in ``{0, ..., max_value}``."""
@@ -171,6 +174,65 @@ class Label:
     def names(self) -> Iterator[str]:
         return iter(self._fields)
 
+    # -- structural introspection -----------------------------------------
+
+    def fields(self) -> Iterator[Tuple[str, str, FieldValue, int]]:
+        """Shallow iterator of ``(name, kind, value, width)`` tuples."""
+        for name, f in self._fields.items():
+            yield name, f.kind, f.value, f.width
+
+    def walk(self, prefix: FieldPath = ()) -> Iterator[Tuple[FieldPath, str, FieldValue, int]]:
+        """Deep iterator over *leaf* fields as ``(path, kind, value, width)``.
+
+        Nested sub-labels (kind ``label``) are recursed into, so every
+        yielded path addresses a concrete wire field.  ``maybe`` fields are
+        leaves whether or not they hold a value.
+        """
+        for name, f in self._fields.items():
+            path = prefix + (name,)
+            if f.kind == "label":
+                yield from f.value.walk(path)
+            else:
+                yield path, f.kind, f.value, f.width
+
+    def with_value(self, path: FieldPath, value: FieldValue) -> "Label":
+        """A copy of this label with the leaf at ``path`` replaced.
+
+        The replacement is *raw*: it preserves the field's kind and wire
+        width but skips the builder-level semantic validation (an adversary
+        may put any ``width``-bit pattern on the wire, e.g. a field-element
+        slot holding a value >= p).  Only structural invariants are
+        enforced: ints must fit the declared width, bitstrings must keep
+        their width, flags stay boolean.  Replacing a ``maybe`` with
+        ``None`` drops its value bits (1 presence bit remains); a ``maybe``
+        currently holding a value may be given any value of the same width;
+        a ``maybe`` that is ``None`` cannot be given a value (its value
+        width is not recorded on the wire).
+
+        Every other field is shared/copied bit-exactly, so
+        ``lbl.with_value(p, lbl_value_at_p)`` equals ``lbl``.
+        """
+        if not path:
+            raise ValueError("empty field path")
+        name = path[0]
+        if name not in self._fields:
+            raise KeyError(f"label has no field {name!r}")
+        out = Label()
+        for k, f in self._fields.items():
+            if k != name:
+                out._fields[k] = _Field(f.kind, f.value, f.width)
+                continue
+            if len(path) > 1:
+                if f.kind != "label":
+                    raise KeyError(
+                        f"field {k!r} is a leaf; cannot descend into {path[1:]}"
+                    )
+                sub = f.value.with_value(path[1:], value)
+                out._fields[k] = _Field("label", sub, sub.bit_size())
+            else:
+                out._fields[k] = _replaced_field(k, f, value)
+        return out
+
     # -- size -------------------------------------------------------------
 
     def bit_size(self) -> int:
@@ -197,6 +259,48 @@ class Label:
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={f.value!r}" for k, f in self._fields.items())
         return f"Label({inner} | {self.bit_size()}b)"
+
+
+def _replaced_field(name: str, old: _Field, value: FieldValue) -> _Field:
+    """A raw (width-preserving, semantics-agnostic) leaf replacement."""
+    kind = old.kind
+    if kind == "flag":
+        if not isinstance(value, bool):
+            raise ValueError(f"{name}: flag replacement must be bool")
+        return _Field("flag", value, 1)
+    if kind in ("uint", "felem"):
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ValueError(f"{name}: {kind} replacement must be a non-negative int")
+        if value.bit_length() > old.width:
+            raise ValueError(f"{name}={value} does not fit in {old.width} bits")
+        return _Field(kind, value, old.width)
+    if kind == "bits":
+        if not isinstance(value, BitString) or value.width != old.width:
+            raise ValueError(f"{name}: bits replacement must keep width {old.width}")
+        return _Field("bits", value, old.width)
+    if kind == "maybe":
+        if value is None:
+            return _Field("maybe", None, 1)
+        if old.value is None:
+            raise ValueError(
+                f"{name}: cannot add a value to an absent maybe field "
+                "(its value width is not on the wire)"
+            )
+        vwidth = old.width - 1
+        if isinstance(value, BitString):
+            if value.width != vwidth:
+                raise ValueError(f"{name}: maybe bitstring must keep width {vwidth}")
+            return _Field("maybe", value, old.width)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ValueError(f"{name}: maybe replacement must be int or BitString")
+        if value.bit_length() > vwidth:
+            raise ValueError(f"{name}={value} does not fit in {vwidth} bits")
+        return _Field("maybe", value, old.width)
+    if kind == "label":
+        if not isinstance(value, Label):
+            raise ValueError(f"{name}: sub-label replacement must be a Label")
+        return _Field("label", value, value.bit_size())
+    raise ValueError(f"unknown field kind {kind!r}")  # pragma: no cover
 
 
 EMPTY_LABEL = Label()

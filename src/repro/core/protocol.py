@@ -36,6 +36,64 @@ def merge_labels(parts: Dict[str, Optional[Label]]) -> Label:
     return out
 
 
+# ---------------------------------------------------------------------------
+# label taps: the universal man-in-the-middle hook
+# ---------------------------------------------------------------------------
+#
+# Every prover message of every protocol -- including the sub-runs spawned
+# by the composite protocols of Theorems 1.3-1.7 -- flows through
+# :meth:`Interaction.prover_round`.  A *label tap* installed here may
+# rewrite the labels in place just before they are recorded (and before
+# the protocol derives anything, e.g. coin widths, from them where it
+# shares the dict).  This is what makes a single protocol-agnostic
+# fuzzing adversary possible: it corrupts the built ``Label`` objects on
+# the wire instead of subclassing each prover.
+#
+# The slot is process-global (BatchRunner isolation is per *process*, not
+# per thread); installing a tap replaces any previous one, and taps are
+# expected to be single-shot (inert once fired) so a stale tap left by an
+# earlier run cannot corrupt a later honest execution.
+
+_LABEL_TAP: Optional["LabelTap"] = None
+
+
+class LabelTap:
+    """Interface: rewrite one prover round's labels before recording.
+
+    ``msg_index`` is the 0-based index of this prover message within its
+    :class:`Interaction` (index ``k`` is interaction round ``2k + 1`` for
+    the paper's 5-round protocols).  Implementations mutate ``labels`` and
+    ``edge_labels`` (canonical ``u <= v`` keys) in place.
+    """
+
+    def on_prover_round(
+        self,
+        interaction: "Interaction",
+        msg_index: int,
+        labels: Dict[int, Label],
+        edge_labels: Dict,
+    ) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+def install_label_tap(tap: Optional[LabelTap]) -> Optional[LabelTap]:
+    """Install ``tap`` as the process-wide label tap (replacing any)."""
+    global _LABEL_TAP
+    _LABEL_TAP = tap
+    return tap
+
+
+def clear_label_tap(tap: Optional[LabelTap] = None) -> None:
+    """Remove the active tap (or only ``tap``, if given and still active)."""
+    global _LABEL_TAP
+    if tap is None or _LABEL_TAP is tap:
+        _LABEL_TAP = None
+
+
+def active_label_tap() -> Optional[LabelTap]:
+    return _LABEL_TAP
+
+
 class Interaction:
     """Referee for one protocol execution on one graph."""
 
@@ -84,6 +142,10 @@ class Interaction:
             if not isinstance(label, Label):
                 raise ProtocolError(f"prover sent a non-Label to edge ({u}, {v})")
             canonical[(u, v) if u <= v else (v, u)] = label
+        if _LABEL_TAP is not None:
+            _LABEL_TAP.on_prover_round(
+                self, len(self.transcript.prover_rounds()), labels, canonical
+            )
         self.transcript.add_prover_round(dict(labels), canonical)
         self._last_kind = "prover"
         return labels

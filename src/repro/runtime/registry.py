@@ -26,6 +26,7 @@ from ..adversaries import (
     FuzzingLRProver,
     IndexLiarProver,
     InnerBlockLiarProver,
+    SeededMutatingProver,
     StealthIndexLiarProver,
     SwappedBlocksProver,
 )
@@ -51,13 +52,16 @@ from ..protocols.instances import (
     SeriesParallelInstance,
     Treewidth2Instance,
 )
-from ..protocols.lr_sorting import LRSortingProtocol
-from ..protocols.outerplanarity import OuterplanarityProtocol
-from ..protocols.path_outerplanarity import PathOuterplanarityProtocol
-from ..protocols.planar_embedding import PlanarEmbeddingProtocol
-from ..protocols.planarity import PlanarityProtocol
-from ..protocols.series_parallel import SeriesParallelProtocol
-from ..protocols.treewidth2 import Treewidth2Protocol
+from ..protocols.lr_sorting import HonestLRSortingProver, LRSortingProtocol
+from ..protocols.outerplanarity import OuterplanarityProtocol, OuterplanarityProver
+from ..protocols.path_outerplanarity import (
+    HonestPathOuterplanarityProver,
+    PathOuterplanarityProtocol,
+)
+from ..protocols.planar_embedding import PlanarEmbeddingProtocol, PlanarEmbeddingProver
+from ..protocols.planarity import PlanarityProtocol, PlanarityProver
+from ..protocols.series_parallel import SeriesParallelProtocol, SeriesParallelProver
+from ..protocols.treewidth2 import Treewidth2Protocol, Treewidth2Prover
 
 # -- yes-instance factories (all deterministic in (n, rng state)) ----------
 
@@ -168,6 +172,23 @@ class SeededFuzzingProver:
         return f"SeededFuzzingProver(target_round={self.target_round})"
 
 
+#: the rounds in which the paper's 5-round protocols send prover messages
+FUZZ_ROUNDS = (1, 3, 5)
+
+
+def fuzz_adversaries(prover_cls) -> Dict[str, SeededMutatingProver]:
+    """The universal ``fuzz_rK`` adversary family for one honest prover class.
+
+    One picklable :class:`~repro.adversaries.SeededMutatingProver` per
+    prover round, each applying one random single-field mutation
+    (``op="random"``) to that round's wire labels.
+    """
+    return {
+        f"fuzz_r{r}": SeededMutatingProver(prover_cls, target_round=r)
+        for r in FUZZ_ROUNDS
+    }
+
+
 # -- the catalogue ----------------------------------------------------------
 
 
@@ -199,7 +220,10 @@ _register(
         yes_factory=path_outerplanarity_yes,
         no_factory=path_outerplanarity_no,
         instance_cls=PathOuterplanarInstance,
-        adversaries={"forced_witness": forced_witness_prover},
+        adversaries={
+            "forced_witness": forced_witness_prover,
+            **fuzz_adversaries(HonestPathOuterplanarityProver),
+        },
     )
 )
 _register(
@@ -209,6 +233,7 @@ _register(
         yes_factory=outerplanarity_yes,
         no_factory=outerplanarity_no,
         instance_cls=OuterplanarInstance,
+        adversaries=fuzz_adversaries(OuterplanarityProver),
     )
 )
 _register(
@@ -217,6 +242,7 @@ _register(
         protocol=PlanarEmbeddingProtocol,
         yes_factory=planar_embedding_yes,
         instance_cls=None,
+        adversaries=fuzz_adversaries(PlanarEmbeddingProver),
     )
 )
 _register(
@@ -226,6 +252,7 @@ _register(
         yes_factory=planarity_yes,
         no_factory=planarity_no,
         instance_cls=PlanarityInstance,
+        adversaries=fuzz_adversaries(PlanarityProver),
     )
 )
 _register(
@@ -235,6 +262,7 @@ _register(
         yes_factory=series_parallel_yes,
         no_factory=series_parallel_no,
         instance_cls=SeriesParallelInstance,
+        adversaries=fuzz_adversaries(SeriesParallelProver),
     )
 )
 _register(
@@ -244,6 +272,7 @@ _register(
         yes_factory=treewidth2_yes,
         no_factory=treewidth2_no,
         instance_cls=Treewidth2Instance,
+        adversaries=fuzz_adversaries(Treewidth2Prover),
     )
 )
 _register(
@@ -261,6 +290,7 @@ _register(
             "fuzzing_r1": SeededFuzzingProver(target_round=1),
             "fuzzing_r3": SeededFuzzingProver(target_round=3),
             "fuzzing_r5": SeededFuzzingProver(target_round=5),
+            **fuzz_adversaries(HonestLRSortingProver),
         },
     )
 )

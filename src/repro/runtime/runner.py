@@ -49,6 +49,11 @@ class RunRecord:
     n_rounds: int
     n_rejecting: int
     wall_time: float  # seconds; excluded from canonical identity
+    #: adversary-specific per-run report (e.g. a MutatingProver's mutation
+    #: record); JSON-safe, but excluded from the canonical identity so the
+    #: serial/parallel byte-equality invariant is unchanged by adversaries
+    #: that evolve their reporting.
+    extra: Optional[Dict[str, Any]] = None
 
     def canonical_dict(self) -> Dict[str, Any]:
         return {
@@ -200,6 +205,9 @@ def _execute_runs(spec: _BatchSpec, indices: Sequence[int]) -> Tuple[List[RunRec
         result = spec.protocol.execute(
             instance, prover=prover, rng=run_ss.child("protocol").rng()
         )
+        extra = None
+        if prover is not None and hasattr(prover, "finalize_report"):
+            extra = prover.finalize_report(result)
         records.append(
             RunRecord(
                 index=i,
@@ -208,6 +216,7 @@ def _execute_runs(spec: _BatchSpec, indices: Sequence[int]) -> Tuple[List[RunRec
                 n_rounds=result.n_rounds,
                 n_rejecting=len(result.rejecting_nodes),
                 wall_time=time.perf_counter() - t0,
+                extra=extra,
             )
         )
     stats_delta = None

@@ -51,3 +51,14 @@ def nx_graph(g: Graph):
 @pytest.fixture
 def rng():
     return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(autouse=True)
+def _no_label_tap_leaks():
+    """Hermeticity: a mutation tap armed by one test must never survive
+    into the next (an unfired tap would silently corrupt a later honest
+    execution in the same process)."""
+    from repro.core.protocol import clear_label_tap
+
+    yield
+    clear_label_tap()

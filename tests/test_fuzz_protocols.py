@@ -1,0 +1,111 @@
+"""Fuzzing soundness for the five previously uncovered protocols.
+
+Until now only LR-sorting (and path-outerplanarity via forced_witness)
+had adversarial coverage; these tests point the protocol-agnostic
+mutation engine at outerplanarity, planar_embedding, planarity,
+series_parallel, and treewidth2.
+
+Fast tier: a few deterministic trials per (task, round) -- every mutation
+in rounds 3 and 5 must be caught (those carry the algebraic responses,
+where a single-field corruption breaks an equation some node re-checks).
+Slow tier: statistical BatchRunner rates for all rounds, including
+round 1, whose commitment fields legitimately tolerate some
+re-randomization (see tests/data/soundness_floors.json for the recorded
+per-task floors that pin exact rates).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.fuzz_coverage import fuzz_coverage
+from repro.runtime import BatchRunner, get_task
+
+UNCOVERED_TASKS = (
+    "outerplanarity",
+    "planar_embedding",
+    "planarity",
+    "series_parallel",
+    "treewidth2",
+)
+
+
+@pytest.mark.parametrize("task", UNCOVERED_TASKS)
+@pytest.mark.parametrize("target_round", [3, 5])
+def test_response_round_mutations_are_caught(task, target_round):
+    """Fast smoke: every round-3/5 single-field corruption is rejected."""
+    spec = get_task(task)
+    factory = spec.adversaries[f"fuzz_r{target_round}"]
+    report = BatchRunner(
+        spec.protocol(c=2), spec.yes_factory, prover_factory=factory
+    ).run(4, 36, seed=target_round)
+    for record in report.records:
+        assert record.extra is not None and record.extra["mutated"]
+        assert not record.accepted, (
+            f"{task} fuzz_r{target_round} run {record.index} escaped: "
+            f"{record.extra}"
+        )
+
+
+@pytest.mark.parametrize("task", UNCOVERED_TASKS)
+def test_round1_mutations_fire_and_honest_control_accepts(task):
+    """Fast smoke: round-1 fuzzing always mutates something, and the
+    unmutated control still accepts with probability 1."""
+    spec = get_task(task)
+    fuzzed = BatchRunner(
+        spec.protocol(c=2), spec.yes_factory,
+        prover_factory=spec.adversaries["fuzz_r1"],
+    ).run(4, 36, seed=9)
+    assert all(r.extra is not None and r.extra["mutated"] for r in fuzzed.records)
+    honest = BatchRunner(spec.protocol(c=2), spec.yes_factory).run(4, 36, seed=9)
+    assert honest.acceptance_rate == 1.0
+
+
+@pytest.mark.parametrize("task", UNCOVERED_TASKS)
+def test_honest_execution_unaffected_after_fuzzing(task):
+    """No armed tap survives a fuzzed batch (hermeticity across runs)."""
+    spec = get_task(task)
+    BatchRunner(
+        spec.protocol(c=2), spec.yes_factory,
+        prover_factory=spec.adversaries["fuzz_r3"],
+    ).run(2, 32, seed=3)
+    inst = spec.yes_factory(32, random.Random(8))
+    result = spec.protocol(c=2).execute(inst, rng=random.Random(8))
+    assert result.accepted
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("task", UNCOVERED_TASKS)
+def test_statistical_fuzz_rejection(task):
+    """Slow tier: BatchRunner statistics across all three prover rounds.
+
+    Response rounds (3, 5) must reject essentially always; round 1 must
+    reject a clear majority overall (its per-task exact rates are pinned
+    by the soundness-floor regression suite).
+    """
+    spec = get_task(task)
+    rates = {}
+    for r in (1, 3, 5):
+        report = BatchRunner(
+            spec.protocol(c=2), spec.yes_factory,
+            prover_factory=spec.adversaries[f"fuzz_r{r}"],
+        ).run(60, 64, seed=2025)
+        assert all(
+            rec.extra is not None and rec.extra["mutated"]
+            for rec in report.records
+        )
+        rates[r] = report.rejection_rate
+    assert rates[3] >= 0.95, rates
+    assert rates[5] >= 0.95, rates
+    assert rates[1] >= 0.30, rates
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("task", UNCOVERED_TASKS)
+def test_coverage_matrix_is_clean_in_response_rounds(task):
+    """Slow tier: the per-field matrix has no weak round-3/5 row."""
+    report = fuzz_coverage(task, rounds=[3, 5], n=48, trials=30, seed=7)
+    assert report.honest_ok
+    assert report.mutated_runs == 60
+    weak = report.weak_fields(floor=0.9)
+    assert not weak, [f.to_dict() for f in weak]

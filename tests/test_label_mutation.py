@@ -1,0 +1,158 @@
+"""Property tests: label introspection survives the mutation engine.
+
+The fuzzing subsystem relies on three structural guarantees of
+:class:`repro.core.labels.Label`:
+
+1. ``walk()`` enumerates exactly the wire leaves (recursing through
+   nested sub-labels, the shape ``merge_labels`` produces);
+2. ``with_value(path, value_at_path)`` is the identity, bit-exactly --
+   traversal and re-encoding never perturb untouched fields;
+3. ``with_value(path, other)`` changes *only* the addressed leaf and
+   preserves every other declared width; the addressed leaf keeps its
+   width too, except a ``maybe`` mutated to ``None`` (BOTTOM), which
+   legally drops its value bits from the wire.
+
+Random nested structures are generated with hypothesis.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries.mutation import MUTATION_OPS, MutationTap
+from repro.core.labels import BitString, Label
+from repro.core.protocol import merge_labels
+
+SMALL_PRIMES = (3, 5, 7, 13, 31, 251)
+
+
+@st.composite
+def leaf_field(draw, name):
+    """Attach one random leaf field to a label under construction."""
+    kind = draw(st.sampled_from(["uint", "flag", "bits", "felem", "maybe"]))
+    if kind == "uint":
+        width = draw(st.integers(1, 12))
+        value = draw(st.integers(0, 2**width - 1))
+        return lambda lbl: lbl.uint(name, value, width)
+    if kind == "flag":
+        value = draw(st.booleans())
+        return lambda lbl: lbl.flag(name, value)
+    if kind == "bits":
+        width = draw(st.integers(0, 9))
+        value = BitString(draw(st.integers(0, 2**width - 1)), width)
+        return lambda lbl: lbl.bits(name, value)
+    if kind == "felem":
+        p = draw(st.sampled_from(SMALL_PRIMES))
+        value = draw(st.integers(0, p - 1))
+        return lambda lbl: lbl.field_elem(name, value, p)
+    width = draw(st.integers(0, 6))
+    value = draw(st.none() | st.integers(0, max(0, 2**width - 1)))
+    return lambda lbl: lbl.maybe(name, value, width)
+
+
+@st.composite
+def labels(draw, depth=2):
+    """A random label: leaves plus (when depth allows) nested sub-labels."""
+    lbl = Label()
+    for i in range(draw(st.integers(0, 4))):
+        draw(leaf_field(f"f{i}"))(lbl)
+    if depth > 0:
+        for j in range(draw(st.integers(0, 2))):
+            lbl.sub(f"s{j}", draw(labels(depth=depth - 1)))
+    return lbl
+
+
+@given(labels())
+@settings(max_examples=150, deadline=None)
+def test_with_value_identity_roundtrip(lbl):
+    """Re-encoding any leaf with its own value is bit-exact identity."""
+    for path, kind, value, width in lbl.walk():
+        out = lbl.with_value(path, value)
+        assert out == lbl
+        assert out.bit_size() == lbl.bit_size()
+
+
+@given(labels())
+@settings(max_examples=150, deadline=None)
+def test_walk_enumerates_exactly_the_wire_bits(lbl):
+    """Leaf widths sum to the label's declared wire size."""
+    assert sum(width for _, _, _, width in lbl.walk()) == lbl.bit_size()
+    for path, kind, value, width in lbl.walk():
+        assert kind in ("uint", "flag", "bits", "felem", "maybe")
+
+
+@given(labels(), st.randoms(use_true_random=False))
+@settings(max_examples=150, deadline=None)
+def test_single_mutation_is_local_and_width_preserving(lbl, rng):
+    """Any engine mutation changes one leaf and no declared width."""
+    sites = [
+        (path, kind, value, width)
+        for path, kind, value, width in lbl.walk()
+        if width > 0 and not (kind == "maybe" and value is None)
+    ]
+    if not sites:
+        return
+    path, kind, value, width = rng.choice(sites)
+    tap = MutationTap(rng, target_round=1, op=rng.choice(list(MUTATION_OPS)))
+    op = tap.op if tap.op != "swap_between_nodes" else "rerandomize"
+    store = {0: lbl}
+    applied, new, partner = tap._apply(
+        rng, store, [("node", 0, path, kind, value, width)],
+        "node", 0, path, kind, value, width, op,
+    )
+    mutated = store[0]
+    before = {p: (k, v, w) for p, k, v, w in lbl.walk()}
+    after = {p: (k, v, w) for p, k, v, w in mutated.walk()}
+    assert set(before) == set(after)
+    changed = [p for p in before if before[p] != after[p]]
+    assert changed == [path]
+    assert after[path][1] != value  # a fired mutation always changes the wire
+    if kind == "maybe" and after[path][1] is None:
+        # sending BOTTOM legally drops the value bits from the wire
+        assert mutated.bit_size() == lbl.bit_size() - (width - 1)
+    else:
+        assert after[path][2] == width
+        assert mutated.bit_size() == lbl.bit_size()
+
+
+@given(st.lists(labels(depth=1), min_size=1, max_size=4))
+@settings(max_examples=100, deadline=None)
+def test_merge_labels_nests_and_roundtrips(parts):
+    """merge_labels output walks as prefixed leaves and re-encodes exactly."""
+    named = {f"stage{i}": part for i, part in enumerate(parts)}
+    merged = merge_labels(named)
+    assert merged.bit_size() == sum(p.bit_size() for p in parts)
+    for path, kind, value, width in merged.walk():
+        stage = path[0]
+        assert stage in named
+        inner = named[stage]
+        assert inner.with_value(path[1:], value) == inner
+        assert merged.with_value(path, value) == merged
+
+
+def test_with_value_rejects_structural_violations():
+    lbl = Label().uint("x", 3, 4).flag("b", True).maybe("m", None, 5)
+    lbl.sub("s", Label().bits("raw", BitString(5, 3)))
+    with pytest.raises(ValueError):
+        lbl.with_value(("x",), 16)  # does not fit 4 bits
+    with pytest.raises(ValueError):
+        lbl.with_value(("b",), 1)  # flags stay boolean
+    with pytest.raises(ValueError):
+        lbl.with_value(("m",), 2)  # absent maybe cannot gain a value
+    with pytest.raises(ValueError):
+        lbl.with_value(("s", "raw"), BitString(1, 2))  # width must be kept
+    with pytest.raises(KeyError):
+        lbl.with_value(("nope",), 0)
+    with pytest.raises(KeyError):
+        lbl.with_value(("x", "deeper"), 0)  # cannot descend into a leaf
+
+
+def test_with_value_allows_out_of_range_semantics():
+    """Adversarial replacement is width-checked, not semantics-checked:
+    a field-element slot may carry any pattern of its width (e.g. >= p)."""
+    lbl = Label().field_elem("z", 2, 5)  # F_5 -> 3-bit slot
+    out = lbl.with_value(("z",), 7)  # 7 >= p, but fits 3 bits
+    assert out["z"] == 7
+    assert out.bit_size() == lbl.bit_size()
