@@ -37,13 +37,27 @@ def run_batch(
     seed: int = 0,
     prover_factory: Optional[Callable] = None,
     workers: int = 0,
+    failure_policy: str = "strict",
+    run_timeout: Optional[float] = None,
+    max_retries: int = 2,
+    fault_plan=None,
 ) -> BatchReport:
-    """One aggregated batch of runs; the substrate of every driver here."""
+    """One aggregated batch of runs; the substrate of every driver here.
+
+    The resilience knobs (``failure_policy`` / ``run_timeout`` /
+    ``max_retries`` / ``fault_plan``) pass straight through to
+    :class:`~repro.runtime.BatchRunner`; at their defaults the legacy
+    strict fast path runs unchanged.
+    """
     runner = BatchRunner(
         protocol,
         instance_factory,
         prover_factory=prover_factory,
         workers=workers,
+        failure_policy=failure_policy,
+        run_timeout=run_timeout,
+        max_retries=max_retries,
+        fault_plan=fault_plan,
     )
     return runner.run(n_runs, n, seed=seed)
 
@@ -55,14 +69,21 @@ def size_sweep(
     seed: int = 0,
     repeats: int = 3,
     workers: int = 0,
+    failure_policy: str = "strict",
+    run_timeout: Optional[float] = None,
+    max_retries: int = 2,
+    fault_plan=None,
 ) -> Dict:
     """Max measured proof size per n; fits for the growth verdict (E1).
 
     Each n gets its own derived master seed (``SeedSequence(seed).child(n)``)
     so adding or reordering sweep points never perturbs other points.
+    Under ``failure_policy="degrade"`` a point's maxima are taken over the
+    runs that survived (the per-point reports say how many).
     """
     sizes: List[int] = []
     rounds: List[int] = []
+    failed: List[int] = []
     for n in ns:
         report = run_batch(
             protocol,
@@ -71,6 +92,10 @@ def size_sweep(
             n=n,
             seed=SeedSequence(seed).child(n).seed_int(),
             workers=workers,
+            failure_policy=failure_policy,
+            run_timeout=run_timeout,
+            max_retries=max_retries,
+            fault_plan=fault_plan,
         )
         rejected = [r for r in report.records if not r.accepted]
         if rejected:
@@ -80,7 +105,10 @@ def size_sweep(
             )
         sizes.append(report.proof_size_max)
         rounds.append(report.rounds_max)
+        failed.append(report.n_failed)
     out = {"ns": list(ns), "sizes": sizes, "rounds": rounds}
+    if any(failed):
+        out["failed_runs"] = failed
     if len(ns) >= 2:
         out.update(loglog_growth_verdict(list(ns), sizes))
     return out

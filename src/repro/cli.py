@@ -13,6 +13,19 @@ worker processes via ``repro.runtime.BatchRunner``; results are identical
 to ``--workers 0`` (serial) for the same seed, because run ``i`` always
 draws from the stream ``SeedSequence(seed).child(i)``.
 
+Both subcommands also expose the resilience layer::
+
+    python -m repro batch planarity --runs 200 --failure-policy degrade \\
+        --run-timeout 5 --max-retries 2 \\
+        --inject-faults rate=0.1,kinds=raise|hang,seed=7
+
+``--failure-policy retry`` retries failed runs (runs that succeed after
+retries are byte-identical to the fault-free serial reference);
+``degrade`` returns a partial report plus a failure table and still
+exits 0; ``strict`` (the default) aborts on the first failure with a
+non-zero exit.  ``--inject-faults`` installs a deterministic chaos plan
+(see ``repro.runtime.faults.FaultPlan.from_spec``).
+
 Exit status is 0 when the verdict matches the instance (accepted
 yes-instance / rejected no-instance), 1 otherwise.
 """
@@ -30,6 +43,41 @@ from .core.network import Graph
 from .graphs.generators import random_nonplanar
 from .protocols.instances import PathOuterplanarInstance
 from .runtime import registry
+from .runtime.faults import FaultPlan
+from .runtime.resilience import FAILURE_POLICIES
+
+
+def _add_resilience_args(parser) -> None:
+    """The shared resilience flags of the ``batch`` and ``sweep`` subcommands."""
+    parser.add_argument(
+        "--failure-policy", choices=FAILURE_POLICIES, default="strict",
+        help="strict: first failure aborts (default); retry: retry failed "
+             "runs; degrade: partial report + failure table, exit 0",
+    )
+    parser.add_argument(
+        "--run-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock deadline (default: none)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retry budget per run under retry/degrade (default: 2)",
+    )
+    parser.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="deterministic chaos plan, e.g. "
+             "'rate=0.1,kinds=raise|hang|kill,seed=7,fires=1' or "
+             "'at=3:raise+9:kill:inf' (see FaultPlan.from_spec)",
+    )
+
+
+def _parse_fault_plan(args):
+    """``(plan, error)`` from ``--inject-faults``; error is a usage string."""
+    if not args.inject_faults:
+        return None, None
+    try:
+        return FaultPlan.from_spec(args.inject_faults), None
+    except ValueError as exc:
+        return None, f"bad --inject-faults spec: {exc}"
 
 
 def _cli_path_outerplanarity_no(n: int, rng: random.Random) -> PathOuterplanarInstance:
@@ -115,17 +163,31 @@ def cmd_sweep(args) -> int:
         return 2
     proto_cls, yes_factory, _, _ = tasks[args.task]
     ns = [int(x) for x in args.ns.split(",")]
-    data = size_sweep(
-        proto_cls(c=args.c),
-        yes_factory,
-        ns,
-        seed=args.seed,
-        repeats=args.repeats,
-        workers=args.workers,
-    )
+    plan, plan_err = _parse_fault_plan(args)
+    if plan_err:
+        print(plan_err)
+        return 2
+    try:
+        data = size_sweep(
+            proto_cls(c=args.c),
+            yes_factory,
+            ns,
+            seed=args.seed,
+            repeats=args.repeats,
+            workers=args.workers,
+            failure_policy=args.failure_policy,
+            run_timeout=args.run_timeout,
+            max_retries=args.max_retries,
+            fault_plan=plan,
+        )
+    except RuntimeError as exc:
+        print(f"sweep aborted ({args.failure_policy} policy): {exc}")
+        return 1
+    failed = data.get("failed_runs", [0] * len(ns))
     print(f"{'n':>8} | {'proof bits':>10} | rounds")
-    for n, s, r in zip(data["ns"], data["sizes"], data["rounds"]):
-        print(f"{n:>8} | {s:>10} | {r}")
+    for n, s, r, k in zip(data["ns"], data["sizes"], data["rounds"], failed):
+        note = f"  ({k} runs failed)" if k else ""
+        print(f"{n:>8} | {s:>10} | {r}{note}")
     if "log_fit" in data:
         print(f"fit vs log2(n):       {data['log_fit']}")
         print(f"fit vs log2(log2 n):  {data['loglog_fit']}")
@@ -156,6 +218,10 @@ def cmd_batch(args) -> int:
             )
             return 2
         prover_factory = spec.adversaries[args.adversary]
+    plan, plan_err = _parse_fault_plan(args)
+    if plan_err:
+        print(plan_err)
+        return 2
     try:
         report = run_batch(
             spec.protocol(c=args.c),
@@ -165,15 +231,27 @@ def cmd_batch(args) -> int:
             seed=args.seed,
             prover_factory=prover_factory,
             workers=args.workers,
+            failure_policy=args.failure_policy,
+            run_timeout=args.run_timeout,
+            max_retries=args.max_retries,
+            fault_plan=plan,
         )
     except ValueError as exc:
         print(f"bad batch parameters: {exc}")
         return 2
+    except RuntimeError as exc:
+        # strict abort on a fault/timeout, or an exhausted retry budget
+        print(f"batch aborted ({args.failure_policy} policy): {exc}")
+        return 1
     print(report.summary())
     lo, hi = report.rejection_wilson_95()
     print(f"rejection:   {report.rejection_rate:.4f}  Wilson 95% [{lo:.4f}, {hi:.4f}]")
     if report.cache_stats:
         print(f"cache:       {report.cache_stats}")
+    if report.failures:
+        print(f"\n{report.n_failed} of {report.n_runs} runs failed "
+              f"(policy {report.failure_policy}):")
+        print(report.failure_table())
     if args.json:
         payload = report.canonical_dict()
         payload["timing"] = {
@@ -181,6 +259,8 @@ def cmd_batch(args) -> int:
             "wall_time_per_run": report.wall_time_per_run,
             "workers": report.workers,
         }
+        payload["failure_policy"] = report.failure_policy
+        payload["failures"] = [rec.as_dict() for rec in report.failures]
         with open(args.json, "w") as f:
             json.dump(payload, f, indent=2, sort_keys=True)
         print(f"report:      {args.json}")
@@ -280,6 +360,7 @@ def main(argv=None) -> int:
         "--workers", type=int, default=0,
         help="worker processes (0 = serial; same results either way)",
     )
+    _add_resilience_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_batch = sub.add_parser(
@@ -299,6 +380,7 @@ def main(argv=None) -> int:
         "--adversary", help="named cheating prover from the task's registry entry"
     )
     p_batch.add_argument("--json", help="write canonical report + timing to this file")
+    _add_resilience_args(p_batch)
     p_batch.set_defaults(func=cmd_batch)
 
     p_fuzz = sub.add_parser(

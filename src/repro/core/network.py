@@ -50,6 +50,8 @@ class Graph:
             self._m += 1
 
     def remove_edge(self, u: int, v: int) -> None:
+        self._check_node(u)
+        self._check_node(v)
         if v not in self._adj[u]:
             raise KeyError(f"edge ({u}, {v}) not in graph")
         self._adj[u].discard(v)

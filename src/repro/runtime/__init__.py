@@ -12,23 +12,60 @@ The pieces, bottom-up:
   payload is byte-identical for serial and parallel execution.
 * :mod:`~repro.runtime.registry` — named, picklable task specs (protocol +
   instance factories + adversaries) for the CLI, benchmarks, and examples.
+* :mod:`~repro.runtime.faults` — ``FaultPlan``, seeded deterministic
+  injection of infrastructure faults (transient raises, hangs past the
+  deadline, hard worker kills).
+* :mod:`~repro.runtime.resilience` — per-run timeouts, retry with capped
+  backoff + deterministic jitter, pool rebuilds, and degraded partial
+  reports carrying typed ``FailureRecord`` entries.
 """
 
 from .cache import CachedFactory, InstanceCache, process_cache
+from .faults import (
+    FAULT_KINDS,
+    PERSISTENT,
+    FaultPlan,
+    InjectedFault,
+    PlannedFault,
+    active_fault_plan,
+    clear_fault_plan,
+    install_fault_plan,
+)
 from .registry import TaskSpec, get_task, task_names
+from .resilience import (
+    FAILURE_POLICIES,
+    FailureRecord,
+    RetryExhaustedError,
+    RunTimeoutError,
+    backoff_delay,
+)
 from .runner import BatchReport, BatchRunner, RunRecord
-from .seeds import SeedSequence, run_streams
+from .seeds import SeedSequence, retry_jitter, run_streams
 
 __all__ = [
     "BatchReport",
     "BatchRunner",
     "CachedFactory",
+    "FAILURE_POLICIES",
+    "FAULT_KINDS",
+    "FailureRecord",
+    "FaultPlan",
+    "InjectedFault",
     "InstanceCache",
+    "PERSISTENT",
+    "PlannedFault",
+    "RetryExhaustedError",
     "RunRecord",
+    "RunTimeoutError",
     "SeedSequence",
     "TaskSpec",
+    "active_fault_plan",
+    "backoff_delay",
+    "clear_fault_plan",
     "get_task",
+    "install_fault_plan",
     "process_cache",
+    "retry_jitter",
     "run_streams",
     "task_names",
 ]

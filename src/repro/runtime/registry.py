@@ -17,6 +17,7 @@ Names accept both underscore and hyphen forms (``path-outerplanarity``).
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
@@ -187,6 +188,21 @@ def fuzz_adversaries(prover_cls) -> Dict[str, SeededMutatingProver]:
         f"fuzz_r{r}": SeededMutatingProver(prover_cls, target_round=r)
         for r in FUZZ_ROUNDS
     }
+
+
+# -- chaos factories --------------------------------------------------------
+
+
+def exiting_worker_factory(n: int, rng: random.Random) -> None:
+    """Instance factory that hard-kills its hosting worker process.
+
+    Registered here (module-level, so it pickles by reference) for chaos
+    tests of the ``BrokenProcessPool`` paths: a worker executing this
+    factory dies without raising, tracing, or flushing — the way an
+    OOM-killed or segfaulted worker dies in production.  Never call it
+    in-process.
+    """
+    os._exit(23)  # pragma: no cover - the process dies before coverage flushes
 
 
 # -- the catalogue ----------------------------------------------------------

@@ -15,16 +15,23 @@ into one :class:`BatchReport`.  Three invariants drive the design:
    and prover factory cross a process boundary; use module-level
    functions (e.g. from :mod:`repro.runtime.registry`) rather than
    lambdas or closures.
-3. **Failure transparency** — an exception in any run aborts the batch
-   and re-raises the *original* exception in the caller (no hangs, no
-   swallowed stack traces); a worker process dying outright surfaces as a
-   ``RuntimeError`` naming the batch.
+3. **Failure transparency** — under the default ``strict`` policy an
+   exception in any run aborts the batch and re-raises the *original*
+   exception in the caller (no hangs, no swallowed stack traces); a
+   worker process dying outright surfaces as a ``RuntimeError`` naming
+   the batch.  The ``retry`` and ``degrade`` policies route execution
+   through :mod:`repro.runtime.resilience` instead: per-run wall-clock
+   timeouts, capped-exponential retries with deterministic jitter, pool
+   rebuilds after lost workers, and (``degrade``) partial reports whose
+   ``failures`` list records what could not be completed — all failure
+   metadata outside the canonical identity, like wall times.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
 import time
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -33,10 +40,18 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from .cache import CachedFactory
 from .seeds import SeedSequence
 
-try:  # pragma: no cover - exercised only when a worker dies hard
+try:
     from concurrent.futures.process import BrokenProcessPool
 except ImportError:  # pragma: no cover
     BrokenProcessPool = None
+
+#: When true, every ``RunRecord`` probes ``json.dumps`` on its ``extra``
+#: payload at construction time, so a non-serializable adversary report
+#: fails at record time (with the run identifiable) instead of much later
+#: at report-dump time.  Off by default: the probe costs a serialization
+#: per run.  Enable via ``REPRO_VALIDATE_EXTRA=1`` or by flipping the
+#: module flag in tests.
+VALIDATE_EXTRA = os.environ.get("REPRO_VALIDATE_EXTRA", "") not in ("", "0")
 
 
 @dataclass(frozen=True)
@@ -54,6 +69,15 @@ class RunRecord:
     #: serial/parallel byte-equality invariant is unchanged by adversaries
     #: that evolve their reporting.
     extra: Optional[Dict[str, Any]] = None
+
+    def __post_init__(self):
+        if VALIDATE_EXTRA and self.extra is not None:
+            try:
+                json.dumps(self.extra)
+            except (TypeError, ValueError) as exc:
+                raise TypeError(
+                    f"RunRecord.extra for run {self.index} is not JSON-safe: {exc}"
+                ) from exc
 
     def canonical_dict(self) -> Dict[str, Any]:
         return {
@@ -73,7 +97,13 @@ class BatchReport:
     ``(protocol, factories, n, n_runs, master_seed)`` — byte-identical
     across serial and parallel execution.  ``wall_clock_total``,
     ``wall_time_per_run`` and ``workers`` describe how this particular
-    execution went and are reported separately.
+    execution went and are reported separately — as are ``failures``:
+    under ``failure_policy="degrade"`` the report may be *partial*, with
+    the runs that could not be completed listed as typed
+    :class:`~repro.runtime.resilience.FailureRecord` entries.  Surviving
+    records keep their fault-free canonical dicts (the determinism
+    invariant of :mod:`repro.runtime.resilience`), so a degraded report's
+    ``records`` are an index-subset of the fault-free reference.
     """
 
     protocol_name: str
@@ -85,12 +115,20 @@ class BatchReport:
     wall_clock_total: float = 0.0
     cache_stats: Optional[Dict[str, int]] = None
     meta: Dict[str, Any] = field(default_factory=dict)
+    #: runs the batch could not complete (degrade policy only); outside
+    #: the canonical identity, like wall times and ``RunRecord.extra``
+    failures: List[Any] = field(default_factory=list)
+    failure_policy: str = "strict"
 
     # -- aggregates -------------------------------------------------------
 
     @property
     def n_accepted(self) -> int:
         return sum(r.accepted for r in self.records)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failures)
 
     @property
     def acceptance_rate(self) -> float:
@@ -154,14 +192,31 @@ class BatchReport:
 
     def summary(self) -> str:
         lo, hi = self.acceptance_wilson_95()
+        degraded = (
+            f" | DEGRADED: {len(self.records)}/{self.n_runs} runs survived"
+            if self.failures
+            else ""
+        )
         return (
             f"{self.protocol_name}: {self.n_runs} runs @ n={self.n} "
             f"(seed {self.master_seed}, workers={self.workers}) | "
             f"accept {self.acceptance_rate:.4f} [{lo:.4f}, {hi:.4f}] | "
             f"proof max/mean {self.proof_size_max}/{self.proof_size_mean:.1f} b | "
             f"{self.wall_clock_total:.2f}s total, "
-            f"{self.wall_time_per_run * 1000:.1f} ms/run"
+            f"{self.wall_time_per_run * 1000:.1f} ms/run" + degraded
         )
+
+    def failure_table(self) -> str:
+        """Plain-text table of the runs this batch could not complete."""
+        if not self.failures:
+            return "no failures"
+        lines = [f"{'run':>6} | {'fault':<12} | {'attempts':>8} | {'elapsed':>8} | error"]
+        for rec in self.failures:
+            lines.append(
+                f"{rec.index:>6} | {rec.fault:<12} | {rec.attempts:>8} | "
+                f"{rec.elapsed:>7.2f}s | {rec.error}"
+            )
+        return "\n".join(lines)
 
 
 @dataclass
@@ -173,6 +228,9 @@ class _BatchSpec:
     prover_factory: Optional[Callable]
     n: int
     master_seed: int
+    #: deterministic chaos plan (see :mod:`repro.runtime.faults`); only
+    #: consulted by the resilient execution path
+    fault_plan: Optional[Any] = None
 
 
 def _build_instance(spec: _BatchSpec, instance_seed: int):
@@ -184,41 +242,47 @@ def _build_instance(spec: _BatchSpec, instance_seed: int):
     return factory(spec.n, random.Random(instance_seed))
 
 
+def execute_one_run(spec: _BatchSpec, i: int) -> RunRecord:
+    """Execute run ``i`` of a batch, from its own positional seed streams.
+
+    The atom both execution paths (legacy strict and resilient) share:
+    every call rebuilds the instance, prover, and protocol RNG from
+    ``SeedSequence(master_seed).child(i)``, so re-executing a run — e.g.
+    a retry after a transient fault — reproduces it exactly.
+    """
+    run_ss = SeedSequence(spec.master_seed).child(i)
+    t0 = time.perf_counter()
+    instance = _build_instance(spec, run_ss.child("instance").seed_int())
+    prover = None
+    if spec.prover_factory is not None:
+        if getattr(spec.prover_factory, "wants_rng", False):
+            prover = spec.prover_factory(
+                instance, run_ss.child("adversary").rng()
+            )
+        else:
+            prover = spec.prover_factory(instance)
+    result = spec.protocol.execute(
+        instance, prover=prover, rng=run_ss.child("protocol").rng()
+    )
+    extra = None
+    if prover is not None and hasattr(prover, "finalize_report"):
+        extra = prover.finalize_report(result)
+    return RunRecord(
+        index=i,
+        accepted=result.accepted,
+        proof_size_bits=result.proof_size_bits,
+        n_rounds=result.n_rounds,
+        n_rejecting=len(result.rejecting_nodes),
+        wall_time=time.perf_counter() - t0,
+        extra=extra,
+    )
+
+
 def _execute_runs(spec: _BatchSpec, indices: Sequence[int]) -> Tuple[List[RunRecord], Optional[Dict[str, int]]]:
     """Execute the given run indices; the unit of work a worker receives."""
-    master = SeedSequence(spec.master_seed)
     cache = getattr(spec.instance_factory, "cache", None)
     stats_before = cache.stats() if cache is not None else None
-    records = []
-    for i in indices:
-        run_ss = master.child(i)
-        t0 = time.perf_counter()
-        instance = _build_instance(spec, run_ss.child("instance").seed_int())
-        prover = None
-        if spec.prover_factory is not None:
-            if getattr(spec.prover_factory, "wants_rng", False):
-                prover = spec.prover_factory(
-                    instance, run_ss.child("adversary").rng()
-                )
-            else:
-                prover = spec.prover_factory(instance)
-        result = spec.protocol.execute(
-            instance, prover=prover, rng=run_ss.child("protocol").rng()
-        )
-        extra = None
-        if prover is not None and hasattr(prover, "finalize_report"):
-            extra = prover.finalize_report(result)
-        records.append(
-            RunRecord(
-                index=i,
-                accepted=result.accepted,
-                proof_size_bits=result.proof_size_bits,
-                n_rounds=result.n_rounds,
-                n_rejecting=len(result.rejecting_nodes),
-                wall_time=time.perf_counter() - t0,
-                extra=extra,
-            )
-        )
+    records = [execute_one_run(spec, i) for i in indices]
     stats_delta = None
     if stats_before is not None:
         after = cache.stats()
@@ -236,6 +300,24 @@ class BatchRunner:
     tier-1 tests pin the parallel path against); ``workers>=1`` uses a
     ``ProcessPoolExecutor`` with that many processes.  ``chunk_size``
     controls shard granularity (default: ~4 shards per worker).
+
+    Resilience knobs (see :mod:`repro.runtime.resilience`):
+
+    - ``failure_policy`` — ``"strict"`` (default: first failure aborts),
+      ``"retry"`` (retry each failed run, abort only when a run exhausts
+      its budget), or ``"degrade"`` (exhausted runs become
+      ``FailureRecord`` entries in a partial report).
+    - ``run_timeout`` — per-run wall-clock deadline in seconds.
+    - ``max_retries`` / ``backoff_base`` / ``backoff_cap`` — retry
+      budget and capped-exponential backoff (deterministic jitter from
+      the run's own ``"retry"`` seed stream).
+    - ``fault_plan`` — a :class:`~repro.runtime.faults.FaultPlan` chaos
+      plan to inject deterministic infrastructure faults.
+
+    With all knobs at their defaults the runner takes the legacy strict
+    fast path, byte-for-byte as before; engaging any knob routes through
+    the resilient engine.  Either way, runs that succeed are identical
+    to the ``workers=0`` fault-free reference.
     """
 
     def __init__(
@@ -246,16 +328,50 @@ class BatchRunner:
         prover_factory: Optional[Callable] = None,
         workers: int = 0,
         chunk_size: Optional[int] = None,
+        failure_policy: str = "strict",
+        run_timeout: Optional[float] = None,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        fault_plan: Optional[Any] = None,
     ):
+        from .resilience import FAILURE_POLICIES
+
         if workers < 0:
             raise ValueError("workers must be >= 0")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if failure_policy not in FAILURE_POLICIES:
+            raise ValueError(
+                f"failure_policy must be one of {FAILURE_POLICIES}, "
+                f"got {failure_policy!r}"
+            )
+        if run_timeout is not None and run_timeout <= 0:
+            raise ValueError("run_timeout must be > 0")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if backoff_base < 0 or backoff_cap < backoff_base:
+            raise ValueError("need 0 <= backoff_base <= backoff_cap")
         self.protocol = protocol
         self.instance_factory = instance_factory
         self.prover_factory = prover_factory
         self.workers = workers
         self.chunk_size = chunk_size
+        self.failure_policy = failure_policy
+        self.run_timeout = run_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.fault_plan = fault_plan
+
+    @property
+    def _resilient(self) -> bool:
+        """Whether any resilience knob routes us off the legacy fast path."""
+        return (
+            self.failure_policy != "strict"
+            or self.run_timeout is not None
+            or self.fault_plan is not None
+        )
 
     # -- execution --------------------------------------------------------
 
@@ -268,9 +384,25 @@ class BatchRunner:
             prover_factory=self.prover_factory,
             n=n,
             master_seed=seed,
+            fault_plan=self.fault_plan,
         )
         t0 = time.perf_counter()
-        if self.workers == 0:
+        failures: List[Any] = []
+        if self._resilient:
+            from .resilience import run_resilient
+
+            records, failures, cache_stats = run_resilient(
+                spec,
+                n_runs,
+                workers=self.workers,
+                chunk_size=self.chunk_size,
+                failure_policy=self.failure_policy,
+                run_timeout=self.run_timeout,
+                max_retries=self.max_retries,
+                backoff_base=self.backoff_base,
+                backoff_cap=self.backoff_cap,
+            )
+        elif self.workers == 0:
             records, cache_stats = _execute_runs(spec, range(n_runs))
         else:
             records, cache_stats = self._run_parallel(spec, n_runs)
@@ -284,6 +416,8 @@ class BatchRunner:
             workers=self.workers,
             wall_clock_total=time.perf_counter() - t0,
             cache_stats=cache_stats,
+            failures=failures,
+            failure_policy=self.failure_policy,
         )
 
     def _run_parallel(
@@ -316,8 +450,10 @@ class BatchRunner:
                         cache_stats["hits"] += shard_stats["hits"]
                         cache_stats["misses"] += shard_stats["misses"]
             except BaseException as exc:
-                for fut in futures:
-                    fut.cancel()
+                # cancel_futures drops every still-queued shard; a plain
+                # fut.cancel() loop would leave them to execute during the
+                # implicit shutdown below, delaying a strict abort
+                pool.shutdown(wait=False, cancel_futures=True)
                 if BrokenProcessPool is not None and isinstance(
                     exc, BrokenProcessPool
                 ):

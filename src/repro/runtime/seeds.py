@@ -111,6 +111,25 @@ class SeedSequence:
         self.entropy, self.spawn_key = state
 
 
+def retry_jitter(master_seed: int, run_index: int, attempt: int) -> float:
+    """Deterministic backoff jitter in ``[0, 1)`` for one retry decision.
+
+    Drawn from the run's own ``"retry"`` child stream — *disjoint* from
+    the ``"instance"`` / ``"protocol"`` / ``"adversary"`` streams, so the
+    resilience layer's backoff randomness can never perturb the run's
+    payload (the successful-retry-equals-serial-reference invariant of
+    :mod:`repro.runtime.resilience` depends on this separation).
+    """
+    return (
+        SeedSequence(master_seed)
+        .child(run_index)
+        .child("retry")
+        .child(attempt)
+        .rng()
+        .random()
+    )
+
+
 def run_streams(master_seed: int, run_index: int) -> Tuple[int, random.Random]:
     """The per-run ``(instance_seed, protocol_rng)`` pair used by the runner.
 

@@ -62,3 +62,14 @@ def _no_label_tap_leaks():
 
     yield
     clear_label_tap()
+
+
+@pytest.fixture(autouse=True)
+def _no_fault_plan_leaks():
+    """Hermeticity for the chaos engine: a fault plan installed by one
+    test must never survive into the next (it would inject faults into a
+    later test's honest batches)."""
+    from repro.runtime.faults import clear_fault_plan
+
+    yield
+    clear_fault_plan()

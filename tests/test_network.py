@@ -46,6 +46,18 @@ class TestGraphBasics:
         with pytest.raises(KeyError):
             g.remove_edge(0, 1)
 
+    def test_remove_edge_out_of_range_rejected(self):
+        # regression: both endpoints are validated like add_edge's, so an
+        # out-of-range node raises ValueError, not a bare IndexError
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(ValueError, match="out of range"):
+            g.remove_edge(0, 3)
+        with pytest.raises(ValueError, match="out of range"):
+            g.remove_edge(-4, 0)
+        with pytest.raises(ValueError, match="out of range"):
+            g.remove_edge(5, 7)
+        assert g.m == 1  # untouched by the rejected calls
+
     def test_neighbors_sorted(self):
         g = Graph(4, [(2, 0), (2, 3), (2, 1)])
         assert g.neighbors(2) == (0, 1, 3)

@@ -14,6 +14,7 @@ from repro.runtime import (
     BatchRunner,
     CachedFactory,
     InstanceCache,
+    RunRecord,
     SeedSequence,
     get_task,
     run_streams,
@@ -203,6 +204,28 @@ class TestFailurePropagation:
             BatchRunner(spec.protocol(c=2), spec.yes_factory, chunk_size=0)
         with pytest.raises(ValueError):
             BatchRunner(spec.protocol(c=2), spec.yes_factory).run(0, 32)
+
+
+class TestExtraValidation:
+    def _record(self, extra):
+        return RunRecord(
+            index=0, accepted=True, proof_size_bits=1, n_rounds=5,
+            n_rejecting=0, wall_time=0.0, extra=extra,
+        )
+
+    def test_probe_rejects_non_serializable_extra_at_record_time(self, monkeypatch):
+        from repro.runtime import runner as runner_mod
+
+        monkeypatch.setattr(runner_mod, "VALIDATE_EXTRA", True)
+        self._record({"ok": [1, "two"]})  # JSON-safe passes
+        with pytest.raises(TypeError, match="not JSON-safe"):
+            self._record({"bad": object()})
+
+    def test_probe_is_off_by_default(self, monkeypatch):
+        from repro.runtime import runner as runner_mod
+
+        monkeypatch.setattr(runner_mod, "VALIDATE_EXTRA", False)
+        self._record({"bad": object()})  # deferred to report-dump time
 
 
 class TestRegistry:
