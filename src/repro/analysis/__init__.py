@@ -22,3 +22,11 @@ from .metrics import (
     loglog_growth_verdict,
     wilson_interval,
 )
+from .trace_report import (
+    RoundCost,
+    TraceCostReport,
+    aggregate_journal,
+    aggregate_summaries,
+    summaries_from_report,
+    trace_task,
+)

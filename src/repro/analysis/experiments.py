@@ -41,13 +41,16 @@ def run_batch(
     run_timeout: Optional[float] = None,
     max_retries: int = 2,
     fault_plan=None,
+    trace: bool = False,
+    journal=None,
 ) -> BatchReport:
     """One aggregated batch of runs; the substrate of every driver here.
 
     The resilience knobs (``failure_policy`` / ``run_timeout`` /
-    ``max_retries`` / ``fault_plan``) pass straight through to
-    :class:`~repro.runtime.BatchRunner`; at their defaults the legacy
-    strict fast path runs unchanged.
+    ``max_retries`` / ``fault_plan``) and observability knobs
+    (``trace`` / ``journal``, see :mod:`repro.obs`) pass straight
+    through to :class:`~repro.runtime.BatchRunner`; at their defaults
+    the legacy strict fast path runs unchanged.
     """
     runner = BatchRunner(
         protocol,
@@ -58,6 +61,8 @@ def run_batch(
         run_timeout=run_timeout,
         max_retries=max_retries,
         fault_plan=fault_plan,
+        trace=trace,
+        journal=journal,
     )
     return runner.run(n_runs, n, seed=seed)
 
@@ -73,13 +78,16 @@ def size_sweep(
     run_timeout: Optional[float] = None,
     max_retries: int = 2,
     fault_plan=None,
+    trace: bool = False,
+    journal=None,
 ) -> Dict:
     """Max measured proof size per n; fits for the growth verdict (E1).
 
     Each n gets its own derived master seed (``SeedSequence(seed).child(n)``)
     so adding or reordering sweep points never perturbs other points.
     Under ``failure_policy="degrade"`` a point's maxima are taken over the
-    runs that survived (the per-point reports say how many).
+    runs that survived (the per-point reports say how many).  A
+    ``journal`` accumulates one batch section per sweep point.
     """
     sizes: List[int] = []
     rounds: List[int] = []
@@ -96,6 +104,8 @@ def size_sweep(
             run_timeout=run_timeout,
             max_retries=max_retries,
             fault_plan=fault_plan,
+            trace=trace,
+            journal=journal,
         )
         rejected = [r for r in report.records if not r.accepted]
         if rejected:

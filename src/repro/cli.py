@@ -4,6 +4,8 @@
     python -m repro run planarity --n 200 --no-instance
     python -m repro sweep outerplanarity --ns 64,256,1024 --workers 4
     python -m repro batch planarity --runs 10000 --n 128 --workers 8
+    python -m repro trace path_outerplanarity --n 64 --runs 3
+    python -m repro batch planarity --runs 200 --journal runs.journal.jsonl
     python -m repro fuzz --task treewidth2 --round 3 --trials 60
     python -m repro attack --n 1024 --bits 6
     python -m repro run planarity --edges graph.txt   # one "u v" pair per line
@@ -25,6 +27,12 @@ retries are byte-identical to the fault-free serial reference);
 exits 0; ``strict`` (the default) aborts on the first failure with a
 non-zero exit.  ``--inject-faults`` installs a deterministic chaos plan
 (see ``repro.runtime.faults.FaultPlan.from_spec``).
+
+Observability (``repro.obs``): ``trace`` runs a task with the
+round-level tracer installed and prints the per-round bits x time
+table; ``--journal PATH`` on ``batch``/``sweep`` enables tracing,
+streams a JSONL event journal to PATH, and prints the same table.
+Neither changes any canonical result.
 
 Exit status is 0 when the verdict matches the instance (accepted
 yes-instance / rejected no-instance), 1 otherwise.
@@ -78,6 +86,31 @@ def _parse_fault_plan(args):
         return FaultPlan.from_spec(args.inject_faults), None
     except ValueError as exc:
         return None, f"bad --inject-faults spec: {exc}"
+
+
+def _add_journal_arg(parser) -> None:
+    parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="enable round-level tracing, stream a JSONL event journal "
+             "to PATH, and print the per-round bits x time table",
+    )
+
+
+def _open_journal(args):
+    """A Journal bound to ``--journal PATH``, or None."""
+    if not getattr(args, "journal", None):
+        return None
+    from .obs.journal import Journal
+
+    return Journal(args.journal)
+
+
+def _print_journal_tables(journal) -> None:
+    from .analysis.trace_report import format_journal_tables
+
+    print()
+    print(format_journal_tables(journal))
+    print(f"journal:     {journal.path} ({len(journal)} events)")
 
 
 def _cli_path_outerplanarity_no(n: int, rng: random.Random) -> PathOuterplanarInstance:
@@ -167,6 +200,7 @@ def cmd_sweep(args) -> int:
     if plan_err:
         print(plan_err)
         return 2
+    journal = _open_journal(args)
     try:
         data = size_sweep(
             proto_cls(c=args.c),
@@ -179,10 +213,14 @@ def cmd_sweep(args) -> int:
             run_timeout=args.run_timeout,
             max_retries=args.max_retries,
             fault_plan=plan,
+            journal=journal,
         )
     except RuntimeError as exc:
         print(f"sweep aborted ({args.failure_policy} policy): {exc}")
         return 1
+    finally:
+        if journal is not None:
+            journal.close()
     failed = data.get("failed_runs", [0] * len(ns))
     print(f"{'n':>8} | {'proof bits':>10} | rounds")
     for n, s, r, k in zip(data["ns"], data["sizes"], data["rounds"], failed):
@@ -191,6 +229,8 @@ def cmd_sweep(args) -> int:
     if "log_fit" in data:
         print(f"fit vs log2(n):       {data['log_fit']}")
         print(f"fit vs log2(log2 n):  {data['loglog_fit']}")
+    if journal is not None:
+        _print_journal_tables(journal)
     return 0
 
 
@@ -222,6 +262,7 @@ def cmd_batch(args) -> int:
     if plan_err:
         print(plan_err)
         return 2
+    journal = _open_journal(args)
     try:
         report = run_batch(
             spec.protocol(c=args.c),
@@ -235,6 +276,7 @@ def cmd_batch(args) -> int:
             run_timeout=args.run_timeout,
             max_retries=args.max_retries,
             fault_plan=plan,
+            journal=journal,
         )
     except ValueError as exc:
         print(f"bad batch parameters: {exc}")
@@ -243,6 +285,9 @@ def cmd_batch(args) -> int:
         # strict abort on a fault/timeout, or an exhausted retry budget
         print(f"batch aborted ({args.failure_policy} policy): {exc}")
         return 1
+    finally:
+        if journal is not None:
+            journal.close()
     print(report.summary())
     lo, hi = report.rejection_wilson_95()
     print(f"rejection:   {report.rejection_rate:.4f}  Wilson 95% [{lo:.4f}, {hi:.4f}]")
@@ -264,8 +309,42 @@ def cmd_batch(args) -> int:
         with open(args.json, "w") as f:
             json.dump(payload, f, indent=2, sort_keys=True)
         print(f"report:      {args.json}")
+    if journal is not None:
+        _print_journal_tables(journal)
     if expect_accept:
         return 0 if report.acceptance_rate == 1.0 else 1
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .analysis.trace_report import trace_task
+    from .obs import metrics as obs_metrics
+
+    if args.metrics:
+        obs_metrics.enable()
+    try:
+        report, cost = trace_task(
+            args.task,
+            n=args.n,
+            seed=args.seed,
+            runs=args.runs,
+            c=args.c,
+            workers=args.workers,
+        )
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+    print(cost.format_table())
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(cost.to_dict(), f, indent=2, sort_keys=True)
+        print(f"report: {args.json}")
+    if args.metrics:
+        print()
+        print(obs_metrics.REGISTRY.render(), end="")
+    if report.acceptance_rate != 1.0:
+        print("FAIL: honest traced runs did not all accept")
+        return 1
     return 0
 
 
@@ -335,9 +414,14 @@ def cmd_attack(args) -> int:
 
 
 def main(argv=None) -> int:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Distributed interactive proofs for planarity (Gil & Parter, PODC 2025)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -361,6 +445,7 @@ def main(argv=None) -> int:
         help="worker processes (0 = serial; same results either way)",
     )
     _add_resilience_args(p_sweep)
+    _add_journal_arg(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_batch = sub.add_parser(
@@ -381,7 +466,29 @@ def main(argv=None) -> int:
     )
     p_batch.add_argument("--json", help="write canonical report + timing to this file")
     _add_resilience_args(p_batch)
+    _add_journal_arg(p_batch)
     p_batch.set_defaults(func=cmd_batch)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="round-level trace: per-round bits x time table for one task",
+    )
+    p_trace.add_argument("task", help=f"one of {', '.join(registry.task_names())}")
+    p_trace.add_argument("--n", type=int, default=64)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--c", type=int, default=2, help="soundness constant")
+    p_trace.add_argument("--runs", type=int, default=3,
+                         help="traced honest runs to aggregate (default: 3)")
+    p_trace.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes (0 = serial; same results either way)",
+    )
+    p_trace.add_argument("--json", help="write the aggregated breakdown to this file")
+    p_trace.add_argument(
+        "--metrics", action="store_true",
+        help="also print the Prometheus-style metrics registry",
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     p_fuzz = sub.add_parser(
         "fuzz",

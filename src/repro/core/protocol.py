@@ -94,6 +94,73 @@ def active_label_tap() -> Optional[LabelTap]:
     return _LABEL_TAP
 
 
+# ---------------------------------------------------------------------------
+# trace hooks: round-level observability
+# ---------------------------------------------------------------------------
+#
+# The same choke-point argument that makes one label tap enough for
+# protocol-agnostic fuzzing makes one trace hook enough for
+# protocol-agnostic observability: every round of every protocol --
+# including the sub-interactions of the composite Theorems 1.3-1.7 --
+# passes through the methods below, so a hook installed here sees the
+# complete round structure of a run without any protocol knowing it is
+# being watched.  Unlike a label tap, a trace hook is strictly read-only:
+# it must never mutate labels, coins, or verdicts (the canonical-identity
+# invariant of the runtime is pinned against this).
+#
+# The slot is process-global, like the label tap; the batched runtime
+# installs a fresh :class:`repro.obs.tracer.Tracer` around each traced
+# run.
+
+_TRACER: Optional["TraceHook"] = None
+
+
+class TraceHook:
+    """Read-only observer interface for interaction rounds.
+
+    All hooks default to no-ops so implementations override only what
+    they need.  Hooks fire *after* the round is recorded (and after any
+    label tap), so ``interaction.transcript`` already contains the round
+    being reported.
+    """
+
+    def on_interaction_start(self, interaction: "Interaction") -> None:
+        """A new interaction (root or composite sub-run) began."""
+
+    def on_verifier_round(self, interaction: "Interaction", coins: Dict) -> None:
+        """A verifier round was recorded; ``coins`` maps node -> BitString."""
+
+    def on_prover_round(
+        self,
+        interaction: "Interaction",
+        msg_index: int,
+        labels: Dict[int, Label],
+        edge_labels: Dict,
+    ) -> None:
+        """A prover round was recorded (``msg_index`` as for label taps)."""
+
+    def on_decide(self, interaction: "Interaction", result) -> None:
+        """The final local-decision sweep of ``interaction`` finished."""
+
+
+def install_tracer(tracer: Optional["TraceHook"]) -> Optional["TraceHook"]:
+    """Install ``tracer`` as the process-wide trace hook (replacing any)."""
+    global _TRACER
+    _TRACER = tracer
+    return tracer
+
+
+def clear_tracer(tracer: Optional["TraceHook"] = None) -> None:
+    """Remove the active tracer (or only ``tracer``, if given and active)."""
+    global _TRACER
+    if tracer is None or _TRACER is tracer:
+        _TRACER = None
+
+
+def active_tracer() -> Optional["TraceHook"]:
+    return _TRACER
+
+
 class Interaction:
     """Referee for one protocol execution on one graph."""
 
@@ -102,6 +169,8 @@ class Interaction:
         self.rng = rng if rng is not None else random.Random()
         self.transcript = Transcript()
         self._last_kind: Optional[str] = None
+        if _TRACER is not None:
+            _TRACER.on_interaction_start(self)
 
     # -- rounds -----------------------------------------------------------
 
@@ -120,6 +189,8 @@ class Interaction:
         }
         self.transcript.add_verifier_round(coins)
         self._last_kind = "verifier"
+        if _TRACER is not None:
+            _TRACER.on_verifier_round(self, coins)
         return coins
 
     def prover_round(
@@ -148,6 +219,10 @@ class Interaction:
             )
         self.transcript.add_prover_round(dict(labels), canonical)
         self._last_kind = "prover"
+        if _TRACER is not None:
+            _TRACER.on_prover_round(
+                self, len(self.transcript.prover_rounds()) - 1, labels, canonical
+            )
         return labels
 
     # -- decision ---------------------------------------------------------
@@ -168,13 +243,16 @@ class Interaction:
             raise ProtocolError("interaction must end with a prover round")
         views = build_views(self.graph, self.transcript, inputs, shared_inputs)
         rejecting = [v for v in self.graph.nodes() if not check(views[v])]
-        return RunResult(
+        result = RunResult(
             accepted=not rejecting,
             rejecting_nodes=rejecting,
             transcript=self.transcript,
             protocol_name=protocol_name,
             meta=meta,
         )
+        if _TRACER is not None:
+            _TRACER.on_decide(self, result)
+        return result
 
 
 class DIPProtocol(ABC):

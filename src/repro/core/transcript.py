@@ -42,12 +42,10 @@ class ProverRound:
     """
 
     labels: Dict[int, Label]
-    edge_labels: Dict[Tuple[int, int], Label] = None  # canonical (u<v) keys
+    #: canonical (u <= v) keys; a fresh dict per round (default_factory,
+    #: so two rounds can never alias one mutable default)
+    edge_labels: Dict[Tuple[int, int], Label] = field(default_factory=dict)
     kind: str = PROVER
-
-    def __post_init__(self):
-        if self.edge_labels is None:
-            self.edge_labels = {}
 
     def label(self, v: int) -> Label:
         return self.labels.get(v, Label())
@@ -78,7 +76,7 @@ class Transcript:
         labels: Dict[int, Label],
         edge_labels: Optional[Dict[Tuple[int, int], Label]] = None,
     ) -> ProverRound:
-        rnd = ProverRound(labels, edge_labels)
+        rnd = ProverRound(labels, {} if edge_labels is None else edge_labels)
         self.rounds.append(rnd)
         return rnd
 

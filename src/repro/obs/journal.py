@@ -1,0 +1,164 @@
+"""JSONL batch-run journal: an append-only event stream per batch.
+
+A :class:`Journal` turns a finished (or failing) batch into an ordered
+stream of JSON-safe events, one per line::
+
+    {"event": "batch_start", "task": "planarity", "n": 64, ...}
+    {"event": "run_start", "run_index": 0}
+    {"event": "trace_summary", "run_index": 0, "rounds": [...], ...}
+    {"event": "run_end", "run_index": 0, "accepted": true, ...}
+    ...
+    {"event": "run_failure", "index": 7, "fault": "timeout", ...}
+    {"event": "batch_end", "n_records": 9, ...}
+
+**Concurrency model.**  With ``workers > 0`` the per-run payloads are
+produced inside pool workers (each run's trace summary travels back on
+its ``RunRecord.extra``, buffered per worker and merged per shard by the
+runner); only the coordinator ever writes the journal, emitting run
+events in **run-index order** once the shards have merged.  The event
+stream is therefore deterministic for a given batch up to its timing
+fields (``wall_time`` / ``wall_clock_total``), regardless of worker
+count, chunking, or retry history — the journaling analogue of the
+canonical-report invariant, pinned in ``tests/test_obs.py``.
+
+Journals are observability output: they live *outside* the canonical
+identity and never feed back into execution.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+#: every event type a journal can carry, in stream order
+EVENT_TYPES = (
+    "batch_start",
+    "run_start",
+    "trace_summary",
+    "run_end",
+    "run_failure",
+    "batch_end",
+)
+
+#: per-event keys that carry wall-clock measurements (layout-dependent);
+#: strip these to compare journals across worker layouts
+TIMING_KEYS = ("wall_time", "wall_clock_total", "elapsed", "time_s")
+
+#: non-timing keys that describe the execution layout rather than the
+#: batch ("workers" differs between a serial and a pooled replay)
+LAYOUT_KEYS = TIMING_KEYS + ("workers",)
+
+
+class Journal:
+    """Buffered, optionally file-backed JSONL event sink."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self.events: List[Dict[str, Any]] = []
+        self._fh = None
+        if path is not None:
+            self._fh = open(path, "w")
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, event: str, **payload: Any) -> Dict[str, Any]:
+        if event not in EVENT_TYPES:
+            raise ValueError(f"unknown event {event!r}; choose from {EVENT_TYPES}")
+        record = {"event": event, **payload}
+        self.events.append(record)
+        if self._fh is not None:
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._fh.flush()
+        return record
+
+    def record_batch(self, report) -> None:
+        """Stream one finished :class:`~repro.runtime.runner.BatchReport`.
+
+        Runs are emitted in index order (the shards have already merged
+        by the time the report exists), failures after the survivors,
+        sorted by index as well.
+        """
+        self.emit(
+            "batch_start",
+            task=report.protocol_name,
+            n=report.n,
+            n_runs=report.n_runs,
+            seed=report.master_seed,
+            workers=report.workers,
+            failure_policy=report.failure_policy,
+        )
+        for rec in sorted(report.records, key=lambda r: r.index):
+            self.emit("run_start", run_index=rec.index)
+            trace = (rec.extra or {}).get("trace")
+            if trace is not None:
+                # the summary carries its own (task, n, seed, run_index)
+                # identity; keep the record's index authoritative
+                self.emit("trace_summary", **{**trace, "run_index": rec.index})
+            self.emit("run_end", run_index=rec.index, wall_time=rec.wall_time,
+                      **rec.canonical_dict())
+        for failure in sorted(report.failures, key=lambda f: f.index):
+            self.emit("run_failure", **failure.as_dict())
+        self.emit(
+            "batch_end",
+            task=report.protocol_name,
+            n_records=len(report.records),
+            n_failures=report.n_failed,
+            acceptance_rate=report.acceptance_rate
+            if report.records
+            else None,
+            wall_clock_total=report.wall_clock_total,
+        )
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- reading -----------------------------------------------------------
+
+    @staticmethod
+    def read_jsonl(path: str) -> List[Dict[str, Any]]:
+        """Load a journal file back into its event list."""
+        events = []
+        with open(path) as f:
+            for line_no, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{path}:{line_no}: not a JSONL journal line: {exc}"
+                    ) from exc
+                if not isinstance(event, dict) or "event" not in event:
+                    raise ValueError(
+                        f"{path}:{line_no}: journal lines are objects "
+                        f"with an 'event' key"
+                    )
+                events.append(event)
+        return events
+
+
+def strip_timing(event: Dict[str, Any]) -> Dict[str, Any]:
+    """The layout-independent projection of one event (for comparisons)."""
+    out = {k: v for k, v in event.items() if k not in LAYOUT_KEYS}
+    if "rounds" in out and isinstance(out["rounds"], list):
+        out["rounds"] = [
+            {k: v for k, v in row.items() if k not in TIMING_KEYS}
+            for row in out["rounds"]
+        ]
+    if isinstance(out.get("decide"), dict):
+        out["decide"] = {
+            k: v for k, v in out["decide"].items() if k not in TIMING_KEYS
+        }
+    return out

@@ -54,6 +54,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import metrics as obs_metrics
 from .faults import InjectedFault, clear_fault_plan, install_fault_plan
 from .seeds import retry_jitter
 
@@ -313,6 +314,11 @@ class _ResilientExecution:
         retry_indices: List[int],
     ) -> None:
         """One attempt of ``index`` failed; decide retry / abort / degrade."""
+        if fault == "timeout":
+            obs_metrics.inc(
+                "repro_run_timeouts_total",
+                help="run attempts that blew their wall-clock deadline",
+            )
         if self.policy == "strict":
             if exc is not None:
                 raise exc
@@ -322,12 +328,22 @@ class _ResilientExecution:
             )
         if self.attempts[index] <= self.retries:
             retry_indices.append(index)
+            obs_metrics.inc(
+                "repro_run_retries_total",
+                help="run attempts resubmitted after a failure",
+                fault=fault,
+            )
             return
         if self.policy == "retry":
             raise RetryExhaustedError(
                 f"run {index} of {_spec_context(self.spec)} still failing "
                 f"after {self.attempts[index]} attempts [{fault}]: {error}"
             ) from exc
+        obs_metrics.inc(
+            "repro_degrade_drops_total",
+            help="runs dropped from a degraded report after exhausting retries",
+            fault=fault,
+        )
         self.failures[index] = FailureRecord(
             index=index,
             fault=fault,
@@ -514,6 +530,10 @@ class _ResilientExecution:
         if broken:
             _terminate_pool(pool)
             pool = ProcessPoolExecutor(max_workers=self.workers)
+            obs_metrics.inc(
+                "repro_pool_rebuilds_total",
+                help="process pools rebuilt after a lost or hung worker",
+            )
         return outcomes, lost, stats_deltas, pool
 
 

@@ -37,6 +37,7 @@ from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import metrics as obs_metrics
 from .cache import CachedFactory
 from .seeds import SeedSequence
 
@@ -162,11 +163,17 @@ class BatchReport:
         # imported lazily: analysis.experiments itself builds on this module
         from ..analysis.metrics import wilson_interval
 
+        # zero-run guard: a fully degraded report has no records, and a
+        # confidence interval over zero trials is as undefined as the rate
+        if not self.records:
+            return (math.nan, math.nan)
         return wilson_interval(self.n_accepted, len(self.records))
 
     def rejection_wilson_95(self) -> Tuple[float, float]:
         from ..analysis.metrics import wilson_interval
 
+        if not self.records:
+            return (math.nan, math.nan)
         return wilson_interval(
             len(self.records) - self.n_accepted, len(self.records)
         )
@@ -231,6 +238,10 @@ class _BatchSpec:
     #: deterministic chaos plan (see :mod:`repro.runtime.faults`); only
     #: consulted by the resilient execution path
     fault_plan: Optional[Any] = None
+    #: install a :class:`repro.obs.tracer.Tracer` around each run and ship
+    #: the per-run trace summary back on ``RunRecord.extra["trace"]``
+    #: (outside canonical identity, like everything else in ``extra``)
+    trace: bool = False
 
 
 def _build_instance(spec: _BatchSpec, instance_seed: int):
@@ -261,12 +272,36 @@ def execute_one_run(spec: _BatchSpec, i: int) -> RunRecord:
             )
         else:
             prover = spec.prover_factory(instance)
-    result = spec.protocol.execute(
-        instance, prover=prover, rng=run_ss.child("protocol").rng()
-    )
+    trace = None
+    if spec.trace:
+        # imported lazily so the untraced path never touches repro.obs
+        from ..core.protocol import clear_tracer, install_tracer
+        from ..obs.tracer import Tracer
+
+        tracer = install_tracer(Tracer())
+        tracer.begin_run(
+            task=getattr(spec.protocol, "name", type(spec.protocol).__name__),
+            n=spec.n,
+            seed=spec.master_seed,
+            run_index=i,
+        )
+        try:
+            result = spec.protocol.execute(
+                instance, prover=prover, rng=run_ss.child("protocol").rng()
+            )
+            trace = tracer.end_run().summary()
+        finally:
+            clear_tracer(tracer)
+    else:
+        result = spec.protocol.execute(
+            instance, prover=prover, rng=run_ss.child("protocol").rng()
+        )
     extra = None
     if prover is not None and hasattr(prover, "finalize_report"):
         extra = prover.finalize_report(result)
+    if trace is not None:
+        extra = dict(extra or {})
+        extra["trace"] = trace
     return RunRecord(
         index=i,
         accepted=result.accepted,
@@ -314,6 +349,17 @@ class BatchRunner:
     - ``fault_plan`` — a :class:`~repro.runtime.faults.FaultPlan` chaos
       plan to inject deterministic infrastructure faults.
 
+    Observability knobs (see :mod:`repro.obs`):
+
+    - ``trace`` — install a round-level tracer around every run; the
+      per-run summary rides back on ``RunRecord.extra["trace"]``.
+    - ``journal`` — a :class:`~repro.obs.journal.Journal` the finished
+      batch is streamed to (run/failure/trace events in run-index
+      order).  A journal implies ``trace``.
+
+    Neither knob touches the canonical report: traced and untraced
+    batches have byte-identical ``canonical_json()``.
+
     With all knobs at their defaults the runner takes the legacy strict
     fast path, byte-for-byte as before; engaging any knob routes through
     the resilient engine.  Either way, runs that succeed are identical
@@ -334,6 +380,8 @@ class BatchRunner:
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
         fault_plan: Optional[Any] = None,
+        trace: bool = False,
+        journal: Optional[Any] = None,
     ):
         from .resilience import FAILURE_POLICIES
 
@@ -363,6 +411,8 @@ class BatchRunner:
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.fault_plan = fault_plan
+        self.journal = journal
+        self.trace = trace or journal is not None
 
     @property
     def _resilient(self) -> bool:
@@ -385,6 +435,7 @@ class BatchRunner:
             n=n,
             master_seed=seed,
             fault_plan=self.fault_plan,
+            trace=self.trace,
         )
         t0 = time.perf_counter()
         failures: List[Any] = []
@@ -407,7 +458,7 @@ class BatchRunner:
         else:
             records, cache_stats = self._run_parallel(spec, n_runs)
         records.sort(key=lambda r: r.index)
-        return BatchReport(
+        report = BatchReport(
             protocol_name=getattr(self.protocol, "name", type(self.protocol).__name__),
             n=n,
             n_runs=n_runs,
@@ -419,6 +470,21 @@ class BatchRunner:
             failures=failures,
             failure_policy=self.failure_policy,
         )
+        if obs_metrics.enabled():
+            obs_metrics.inc(
+                "repro_runs_total", len(records),
+                help="completed protocol runs", task=report.protocol_name,
+            )
+            for rec in records:
+                obs_metrics.observe(
+                    "repro_run_wall_seconds", rec.wall_time,
+                    help="wall time per completed run",
+                    buckets=(0.001, 0.01, 0.1, 1.0, 10.0, 60.0),
+                    task=report.protocol_name,
+                )
+        if self.journal is not None:
+            self.journal.record_batch(report)
+        return report
 
     def _run_parallel(
         self, spec: _BatchSpec, n_runs: int

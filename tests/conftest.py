@@ -73,3 +73,15 @@ def _no_fault_plan_leaks():
 
     yield
     clear_fault_plan()
+
+
+@pytest.fixture(autouse=True)
+def _no_observability_leaks():
+    """Hermeticity for observability: a tracer installed (or metrics
+    enabled) by one test must never keep recording into the next."""
+    from repro.core.protocol import clear_tracer
+    from repro.obs import metrics
+
+    yield
+    clear_tracer()
+    metrics.disable()

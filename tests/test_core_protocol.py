@@ -115,3 +115,27 @@ class TestViews:
         )
         assert merged.bit_size() == 1
         assert isinstance(merged["b"], Label)
+
+
+class TestProverRoundDefaults:
+    def test_edge_label_dicts_are_never_shared(self):
+        # regression: edge_labels once defaulted via a __post_init__ dance;
+        # with default_factory, two rounds must get independent dicts
+        from repro.core.transcript import ProverRound
+
+        a = ProverRound({0: Label().flag("x", True)})
+        b = ProverRound({1: Label().flag("x", True)})
+        assert a.edge_labels == {} and b.edge_labels == {}
+        a.edge_labels[(0, 1)] = Label().uint("w", 3, 2)
+        assert b.edge_labels == {}
+        assert a.edge_label(1, 0).bit_size() == 2
+        assert b.edge_label(0, 1).bit_size() == 0
+
+    def test_add_prover_round_normalizes_none(self):
+        from repro.core.transcript import ProverRound
+
+        t = Transcript()
+        rnd = t.add_prover_round({0: Label().flag("x", True)}, None)
+        assert isinstance(rnd, ProverRound) and rnd.edge_labels == {}
+        rnd.edge_labels[(0, 1)] = Label().flag("y", False)
+        assert t.add_prover_round({}).edge_labels == {}

@@ -246,3 +246,70 @@ class TestRegistry:
         for name in task_names():
             spec = get_task(name)
             pickle.dumps((spec.yes_factory, spec.no_factory, spec.adversaries))
+
+
+class TestReportFormatting:
+    """Golden strings for the human-facing report renderings."""
+
+    def _report(self, records=True, failures=()):
+        from repro.runtime.runner import BatchReport
+
+        recs = []
+        if records:
+            recs = [
+                RunRecord(0, True, 118, 5, 0, wall_time=0.25),
+                RunRecord(1, True, 122, 5, 0, wall_time=0.15),
+                RunRecord(2, False, 130, 5, 3, wall_time=0.20),
+                RunRecord(3, True, 110, 5, 0, wall_time=0.40),
+            ]
+        return BatchReport(
+            protocol_name="path-outerplanarity",
+            n=64,
+            n_runs=4,
+            master_seed=7,
+            records=recs,
+            workers=2,
+            wall_clock_total=1.5,
+            failures=list(failures),
+            failure_policy="degrade" if failures else "strict",
+        )
+
+    def test_summary_golden(self):
+        assert self._report().summary() == (
+            "path-outerplanarity: 4 runs @ n=64 (seed 7, workers=2) | "
+            "accept 0.7500 [0.3006, 0.9544] | proof max/mean 130/120.0 b | "
+            "1.50s total, 250.0 ms/run"
+        )
+
+    def test_summary_flags_degraded_reports(self):
+        from repro.runtime.resilience import FailureRecord
+
+        failure = FailureRecord(
+            index=9, fault="timeout", attempts=3, elapsed=1.61,
+            error="RunTimeoutError('run 9 blew 0.5s')",
+        )
+        report = self._report(failures=[failure])
+        assert report.summary().endswith("| DEGRADED: 4/4 runs survived")
+        assert report.failure_table() == (
+            "   run | fault        | attempts |  elapsed | error\n"
+            "     9 | timeout      |        3 |    1.61s | "
+            "RunTimeoutError('run 9 blew 0.5s')"
+        )
+
+    def test_failure_table_empty_golden(self):
+        assert self._report().failure_table() == "no failures"
+
+    def test_zero_run_report_degrades_gracefully(self):
+        import math
+
+        report = self._report(records=False)
+        assert math.isnan(report.acceptance_rate)
+        assert math.isnan(report.wall_time_per_run)
+        lo, hi = report.acceptance_wilson_95()
+        assert math.isnan(lo) and math.isnan(hi)
+        lo, hi = report.rejection_wilson_95()
+        assert math.isnan(lo) and math.isnan(hi)
+        assert report.proof_size_max == 0
+        # the renderings must not raise on an empty report
+        assert "nan" in report.summary()
+        assert report.failure_table() == "no failures"
