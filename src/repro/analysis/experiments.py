@@ -43,14 +43,23 @@ def run_batch(
     fault_plan=None,
     trace: bool = False,
     journal=None,
+    min_runs_per_shard: Optional[int] = 8,
 ) -> BatchReport:
     """One aggregated batch of runs; the substrate of every driver here.
+
+    ``protocol`` may be an instance or a no-argument protocol class (the
+    class is instantiated here; anything without an ``execute`` method
+    raises ``TypeError`` immediately instead of crashing mid-batch).
 
     The resilience knobs (``failure_policy`` / ``run_timeout`` /
     ``max_retries`` / ``fault_plan``) and observability knobs
     (``trace`` / ``journal``, see :mod:`repro.obs`) pass straight
     through to :class:`~repro.runtime.BatchRunner`; at their defaults
-    the legacy strict fast path runs unchanged.
+    the legacy strict fast path runs unchanged.  Unlike a bare
+    BatchRunner, analysis batches default ``min_runs_per_shard=8``:
+    small ``workers>0`` batches fall back to serial execution (noted in
+    ``report.meta["auto_serial"]``) rather than paying more in process
+    spawns than the parallelism returns.
     """
     runner = BatchRunner(
         protocol,
@@ -63,6 +72,7 @@ def run_batch(
         fault_plan=fault_plan,
         trace=trace,
         journal=journal,
+        min_runs_per_shard=min_runs_per_shard,
     )
     return runner.run(n_runs, n, seed=seed)
 

@@ -83,22 +83,20 @@ class BitString:
         return f"BitString({self.value:0{self.width}b})"
 
 
-class _Field:
-    __slots__ = ("kind", "value", "width")
-
-    def __init__(self, kind: str, value: FieldValue, width: int):
-        self.kind = kind
-        self.value = value
-        self.width = width
+# A label field on the wire is a plain ``(kind, value, width)`` tuple.
+# Tuples (not a small class) because field construction sits on the hot
+# prover path: a tuple literal is allocated in C, a class __init__ is a
+# Python-level call.
 
 
 class Label:
     """An ordered, named collection of typed fields with exact bit size."""
 
-    __slots__ = ("_fields",)
+    __slots__ = ("_fields", "_size")
 
     def __init__(self):
-        self._fields: Dict[str, _Field] = {}
+        self._fields: Dict[str, tuple] = {}
+        self._size = 0
 
     # -- builders ---------------------------------------------------------
 
@@ -106,30 +104,30 @@ class Label:
         """Add an unsigned integer field of ``width`` bits."""
         if value < 0 or value.bit_length() > width:
             raise ValueError(f"{name}={value} does not fit in {width} bits")
-        self._put(name, _Field("uint", value, width))
+        self._put(name, ("uint", value, width))
         return self
 
     def flag(self, name: str, value: bool) -> "Label":
         """Add a one-bit boolean field."""
-        self._put(name, _Field("flag", bool(value), 1))
+        self._put(name, ("flag", bool(value), 1))
         return self
 
     def bits(self, name: str, value: BitString) -> "Label":
         """Add a raw bitstring field."""
-        self._put(name, _Field("bits", value, value.width))
+        self._put(name, ("bits", value, value.width))
         return self
 
     def field_elem(self, name: str, value: int, p: int) -> "Label":
         """Add an element of the prime field F_p."""
         if not 0 <= value < p:
             raise ValueError(f"{name}={value} is not an element of F_{p}")
-        self._put(name, _Field("felem", value, uint_width(p - 1)))
+        self._put(name, ("felem", value, (p - 1).bit_length() or 1))
         return self
 
     def sub(self, name: str, value: Optional["Label"]) -> "Label":
         """Nest a sub-label (``None`` nests an empty, zero-bit sub-label)."""
         sub = value if value is not None else Label()
-        self._put(name, _Field("label", sub, sub.bit_size()))
+        self._put(name, ("label", sub, sub.bit_size()))
         return self
 
     def maybe(self, name: str, value: Optional[FieldValue], width: int) -> "Label":
@@ -139,22 +137,33 @@ class Label:
         the virtual edge in Section 5).
         """
         if value is None:
-            self._put(name, _Field("maybe", None, 1))
+            self._put(name, ("maybe", None, 1))
         else:
             if isinstance(value, BitString):
                 if value.width != width:
                     raise ValueError("bitstring width mismatch in maybe()")
-                self._put(name, _Field("maybe", value, 1 + width))
+                self._put(name, ("maybe", value, 1 + width))
             else:
                 if int(value) < 0 or int(value).bit_length() > width:
                     raise ValueError(f"{name}={value} does not fit in {width} bits")
-                self._put(name, _Field("maybe", int(value), 1 + width))
+                self._put(name, ("maybe", int(value), 1 + width))
         return self
 
-    def _put(self, name: str, field: _Field) -> None:
+    def _put(self, name: str, field: tuple) -> None:
         if name in self._fields:
             raise ValueError(f"duplicate label field {name!r}")
         self._fields[name] = field
+        self._size += field[2]
+
+    @classmethod
+    def _trusted(cls, fields: Dict[str, tuple], size: int) -> "Label":
+        """Build a label directly from pre-validated ``(kind, value, width)``
+        tuples (hot prover paths).  Callers own the validation the public
+        builders would have done; ``size`` must equal the width sum."""
+        out = cls.__new__(cls)
+        out._fields = fields
+        out._size = size
+        return out
 
     # -- readers ----------------------------------------------------------
 
@@ -163,13 +172,13 @@ class Label:
 
     def __getitem__(self, name: str) -> FieldValue:
         try:
-            return self._fields[name].value
+            return self._fields[name][1]
         except KeyError:
             raise KeyError(f"label has no field {name!r}") from None
 
     def get(self, name: str, default: FieldValue = None) -> FieldValue:
         field = self._fields.get(name)
-        return field.value if field is not None else default
+        return field[1] if field is not None else default
 
     def names(self) -> Iterator[str]:
         return iter(self._fields)
@@ -179,7 +188,7 @@ class Label:
     def fields(self) -> Iterator[Tuple[str, str, FieldValue, int]]:
         """Shallow iterator of ``(name, kind, value, width)`` tuples."""
         for name, f in self._fields.items():
-            yield name, f.kind, f.value, f.width
+            yield (name,) + f
 
     def walk(self, prefix: FieldPath = ()) -> Iterator[Tuple[FieldPath, str, FieldValue, int]]:
         """Deep iterator over *leaf* fields as ``(path, kind, value, width)``.
@@ -190,10 +199,10 @@ class Label:
         """
         for name, f in self._fields.items():
             path = prefix + (name,)
-            if f.kind == "label":
-                yield from f.value.walk(path)
+            if f[0] == "label":
+                yield from f[1].walk(path)
             else:
-                yield path, f.kind, f.value, f.width
+                yield (path,) + f
 
     def with_value(self, path: FieldPath, value: FieldValue) -> "Label":
         """A copy of this label with the leaf at ``path`` replaced.
@@ -220,86 +229,80 @@ class Label:
         out = Label()
         for k, f in self._fields.items():
             if k != name:
-                out._fields[k] = _Field(f.kind, f.value, f.width)
+                out._fields[k] = f  # field tuples are immutable; share them
                 continue
             if len(path) > 1:
-                if f.kind != "label":
+                if f[0] != "label":
                     raise KeyError(
                         f"field {k!r} is a leaf; cannot descend into {path[1:]}"
                     )
-                sub = f.value.with_value(path[1:], value)
-                out._fields[k] = _Field("label", sub, sub.bit_size())
+                sub = f[1].with_value(path[1:], value)
+                out._fields[k] = ("label", sub, sub.bit_size())
             else:
                 out._fields[k] = _replaced_field(k, f, value)
+        out._size = sum(f[2] for f in out._fields.values())
         return out
 
     # -- size -------------------------------------------------------------
 
     def bit_size(self) -> int:
-        """Total bits this label occupies on the wire."""
-        return sum(f.width for f in self._fields.values())
+        """Total bits this label occupies on the wire (maintained by _put)."""
+        return self._size
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, Label):
             return NotImplemented
         if list(self._fields) != list(other._fields):
             return False
-        return all(
-            self._fields[k].kind == other._fields[k].kind
-            and self._fields[k].value == other._fields[k].value
-            and self._fields[k].width == other._fields[k].width
-            for k in self._fields
-        )
+        return self._fields == other._fields
 
     def __hash__(self) -> int:
-        return hash(
-            tuple((k, f.kind, f.value, f.width) for k, f in self._fields.items())
-        )
+        return hash(tuple((k,) + f for k, f in self._fields.items()))
 
     def __repr__(self) -> str:
-        inner = ", ".join(f"{k}={f.value!r}" for k, f in self._fields.items())
+        inner = ", ".join(f"{k}={f[1]!r}" for k, f in self._fields.items())
         return f"Label({inner} | {self.bit_size()}b)"
 
 
-def _replaced_field(name: str, old: _Field, value: FieldValue) -> _Field:
+def _replaced_field(name: str, old: tuple, value: FieldValue) -> tuple:
     """A raw (width-preserving, semantics-agnostic) leaf replacement."""
-    kind = old.kind
+    kind, old_value, old_width = old
     if kind == "flag":
         if not isinstance(value, bool):
             raise ValueError(f"{name}: flag replacement must be bool")
-        return _Field("flag", value, 1)
+        return ("flag", value, 1)
     if kind in ("uint", "felem"):
         if not isinstance(value, int) or isinstance(value, bool) or value < 0:
             raise ValueError(f"{name}: {kind} replacement must be a non-negative int")
-        if value.bit_length() > old.width:
-            raise ValueError(f"{name}={value} does not fit in {old.width} bits")
-        return _Field(kind, value, old.width)
+        if value.bit_length() > old_width:
+            raise ValueError(f"{name}={value} does not fit in {old_width} bits")
+        return (kind, value, old_width)
     if kind == "bits":
-        if not isinstance(value, BitString) or value.width != old.width:
-            raise ValueError(f"{name}: bits replacement must keep width {old.width}")
-        return _Field("bits", value, old.width)
+        if not isinstance(value, BitString) or value.width != old_width:
+            raise ValueError(f"{name}: bits replacement must keep width {old_width}")
+        return ("bits", value, old_width)
     if kind == "maybe":
         if value is None:
-            return _Field("maybe", None, 1)
-        if old.value is None:
+            return ("maybe", None, 1)
+        if old_value is None:
             raise ValueError(
                 f"{name}: cannot add a value to an absent maybe field "
                 "(its value width is not on the wire)"
             )
-        vwidth = old.width - 1
+        vwidth = old_width - 1
         if isinstance(value, BitString):
             if value.width != vwidth:
                 raise ValueError(f"{name}: maybe bitstring must keep width {vwidth}")
-            return _Field("maybe", value, old.width)
+            return ("maybe", value, old_width)
         if not isinstance(value, int) or isinstance(value, bool) or value < 0:
             raise ValueError(f"{name}: maybe replacement must be int or BitString")
         if value.bit_length() > vwidth:
             raise ValueError(f"{name}={value} does not fit in {vwidth} bits")
-        return _Field("maybe", value, old.width)
+        return ("maybe", value, old_width)
     if kind == "label":
         if not isinstance(value, Label):
             raise ValueError(f"{name}: sub-label replacement must be a Label")
-        return _Field("label", value, value.bit_size())
+        return ("label", value, value.bit_size())
     raise ValueError(f"unknown field kind {kind!r}")  # pragma: no cover
 
 

@@ -26,7 +26,7 @@ def norm_edge(u: int, v: int) -> Edge:
 class Graph:
     """A simple undirected graph on nodes ``0..n-1``."""
 
-    __slots__ = ("n", "_adj", "_m")
+    __slots__ = ("n", "_adj", "_m", "_nbrs")
 
     def __init__(self, n: int, edges: Iterable[Edge] = ()):
         if n < 0:
@@ -34,6 +34,9 @@ class Graph:
         self.n = n
         self._adj: List[Set[int]] = [set() for _ in range(n)]
         self._m = 0
+        #: memoized sorted-neighbor tuples (None until first query after a
+        #: mutation); adjacency reads dominate several hot loops
+        self._nbrs: Optional[List[Tuple[int, ...]]] = None
         for u, v in edges:
             self.add_edge(u, v)
 
@@ -48,6 +51,26 @@ class Graph:
             self._adj[u].add(v)
             self._adj[v].add(u)
             self._m += 1
+            self._nbrs = None
+
+    @classmethod
+    def from_edge_list(cls, n: int, edges: Iterable[Edge]) -> "Graph":
+        """Bulk constructor for trusted, in-range edge lists.
+
+        Skips the per-edge bounds checks of :meth:`add_edge` (callers that
+        derive edges from an existing graph, e.g. contractions, already
+        guarantee ``0 <= u, v < n`` and ``u != v``)."""
+        g = cls(n)
+        adj = g._adj
+        m = 0
+        for u, v in edges:
+            a = adj[u]
+            if v not in a:
+                a.add(v)
+                adj[v].add(u)
+                m += 1
+        g._m = m
+        return g
 
     def remove_edge(self, u: int, v: int) -> None:
         self._check_node(u)
@@ -57,6 +80,7 @@ class Graph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._m -= 1
+        self._nbrs = None
 
     def _check_node(self, v: int) -> None:
         if not 0 <= v < self.n:
@@ -74,7 +98,10 @@ class Graph:
 
     def neighbors(self, v: int) -> Tuple[int, ...]:
         """Neighbors of ``v`` in sorted order (deterministic iteration)."""
-        return tuple(sorted(self._adj[v]))
+        nbrs = self._nbrs
+        if nbrs is None:
+            nbrs = self._nbrs = [tuple(sorted(a)) for a in self._adj]
+        return nbrs[v]
 
     def degree(self, v: int) -> int:
         return len(self._adj[v])
@@ -88,7 +115,7 @@ class Graph:
     def edges(self) -> Iterator[Edge]:
         """All edges in canonical (u < v) form, sorted."""
         for u in range(self.n):
-            for v in sorted(self._adj[u]):
+            for v in self.neighbors(u):
                 if u < v:
                     yield (u, v)
 

@@ -14,6 +14,7 @@ named sub-labels via :func:`merge_labels`.
 
 from __future__ import annotations
 
+import os
 import random
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Dict, Iterable, Optional
@@ -161,6 +162,87 @@ def active_tracer() -> Optional["TraceHook"]:
     return _TRACER
 
 
+# ---------------------------------------------------------------------------
+# decode caches: share pure label decodings across one decide sweep
+# ---------------------------------------------------------------------------
+#
+# The verifier is local, but much of what each node decodes from the
+# transcript is *shared*: a neighbor's forest-encoding label is decoded by
+# the neighbor itself and by every node adjacent to it (deg+1 times), the
+# LR sub-label of a round is re-extracted per incident edge, and so on.
+# All of these decodings are pure functions of the Label object, and the
+# transcript pins every round label alive for the whole interaction, so
+# ``id(label)`` is a stable key for the duration of one decide sweep.
+#
+# :meth:`Interaction.decide` installs a fresh :class:`DecodeCache` around
+# the sweep (one per execution, like the per-run Tracer of PR-4), so each
+# shared structure is decoded once per run instead of once per node.
+# Checkers that find no installed cache build a private one per node,
+# which is exactly the old decode-everything-locally behavior — the
+# ``REPRO_DISABLE_DECODE_CACHE=1`` escape hatch forces that path, and the
+# bit-identity suite pins canonical reports equal with the cache on and
+# off.  The slot is process-global like the label tap and trace hook.
+
+_DECODE_CACHE: Optional["DecodeCache"] = None
+
+_CACHE_MISS = object()  # sentinel: distinguishes "absent" from cached None
+
+
+class DecodeCache:
+    """Memo for pure per-label decodings, partitioned by decode kind.
+
+    ``sub(kind)`` returns the plain dict for one kind of decoding (e.g.
+    ``"commit"``, ``"stv"``); keys are ``id(label)`` of transcript-held
+    labels.  :meth:`get` is the counting lookup the checkers use.
+    """
+
+    __slots__ = ("_subs", "hits", "misses")
+
+    def __init__(self):
+        self._subs: Dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def sub(self, kind: str) -> dict:
+        memo = self._subs.get(kind)
+        if memo is None:
+            memo = self._subs[kind] = {}
+        return memo
+
+    def get(self, memo: dict, key, fn, *args):
+        """Memoized ``fn(*args)`` under ``key`` in ``memo`` (a sub() dict)."""
+        value = memo.get(key, _CACHE_MISS)
+        if value is not _CACHE_MISS:
+            self.hits += 1
+            return value
+        self.misses += 1
+        value = memo[key] = fn(*args)
+        return value
+
+
+def install_decode_cache(cache: Optional[DecodeCache]) -> Optional[DecodeCache]:
+    """Install ``cache`` as the process-wide decode cache (replacing any)."""
+    global _DECODE_CACHE
+    _DECODE_CACHE = cache
+    return cache
+
+
+def clear_decode_cache(cache: Optional[DecodeCache] = None) -> None:
+    """Remove the active cache (or only ``cache``, if given and active)."""
+    global _DECODE_CACHE
+    if cache is None or _DECODE_CACHE is cache:
+        _DECODE_CACHE = None
+
+
+def active_decode_cache() -> Optional[DecodeCache]:
+    return _DECODE_CACHE
+
+
+def decode_cache_disabled() -> bool:
+    """True when the ``REPRO_DISABLE_DECODE_CACHE`` escape hatch is set."""
+    return os.environ.get("REPRO_DISABLE_DECODE_CACHE", "") not in ("", "0")
+
+
 class Interaction:
     """Referee for one protocol execution on one graph."""
 
@@ -242,7 +324,27 @@ class Interaction:
         if not self.transcript.ends_with_prover():
             raise ProtocolError("interaction must end with a prover round")
         views = build_views(self.graph, self.transcript, inputs, shared_inputs)
-        rejecting = [v for v in self.graph.nodes() if not check(views[v])]
+        global _DECODE_CACHE
+        cache = None if decode_cache_disabled() else DecodeCache()
+        previous = _DECODE_CACHE
+        _DECODE_CACHE = cache
+        try:
+            rejecting = [v for v in self.graph.nodes() if not check(views[v])]
+        finally:
+            _DECODE_CACHE = previous
+        if cache is not None and (cache.hits or cache.misses):
+            # lazy import: obs builds on core, so core must not import obs
+            # at module load; the counters live outside canonical identity
+            from ..obs import metrics as obs_metrics
+
+            obs_metrics.inc(
+                "repro_decode_cache_hits_total", cache.hits,
+                help="decode-cache hits across decide sweeps",
+            )
+            obs_metrics.inc(
+                "repro_decode_cache_misses_total", cache.misses,
+                help="decode-cache misses across decide sweeps",
+            )
         result = RunResult(
             accepted=not rejecting,
             rejecting_nodes=rejecting,

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from .labels import BitString, Label
+from .labels import EMPTY_LABEL, BitString, Label
 
 VERIFIER = "verifier"
 PROVER = "prover"
@@ -48,11 +48,13 @@ class ProverRound:
     kind: str = PROVER
 
     def label(self, v: int) -> Label:
-        return self.labels.get(v, Label())
+        # the shared EMPTY_LABEL keeps "no label" reads allocation-free and
+        # gives all absent slots one identity (checkers never mutate views)
+        return self.labels.get(v, EMPTY_LABEL)
 
     def edge_label(self, u: int, v: int) -> Label:
         key = (u, v) if u <= v else (v, u)
-        return self.edge_labels.get(key, Label())
+        return self.edge_labels.get(key, EMPTY_LABEL)
 
     def max_bits(self) -> int:
         node_max = max((l.bit_size() for l in self.labels.values()), default=0)

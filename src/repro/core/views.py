@@ -21,11 +21,15 @@ view.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List
 
 from .labels import BitString, Label
 from .network import Graph
 from .transcript import Transcript
+
+#: shared zero-width coin object for rounds in which a node drew no coins
+#: (BitStrings are immutable value objects, so one instance serves all views)
+_NO_COINS = BitString(0, 0)
 
 
 @dataclass
@@ -74,20 +78,25 @@ def build_views(
     shared_inputs = shared_inputs or {}
     prover_rounds = transcript.prover_rounds()
     verifier_rounds = transcript.verifier_rounds()
+    no_input: Dict[str, Any] = {}
 
     views: Dict[int, NodeView] = {}
-    neighbor_lists: Dict[int, Tuple[int, ...]] = {
-        v: graph.neighbors(v) for v in graph.nodes()
-    }
     for v in graph.nodes():
-        nbrs = neighbor_lists[v]
-        view = NodeView(degree=len(nbrs), input=dict(inputs.get(v, {})))
-        for rnd in verifier_rounds:
-            view.coins.append(rnd.coins.get(v, BitString(0, 0)))
-        for rnd in prover_rounds:
-            view.own_labels.append(rnd.label(v))
-            view.neighbor_labels.append([rnd.label(u) for u in nbrs])
-            view.edge_labels.append([rnd.edge_label(v, u) for u in nbrs])
-        view.neighbor_inputs = [dict(shared_inputs.get(u, {})) for u in nbrs]
+        nbrs = graph.neighbors(v)
+        inp = inputs.get(v)
+        view = NodeView(
+            degree=len(nbrs),
+            input=dict(inp) if inp else {},
+            coins=[rnd.coins.get(v, _NO_COINS) for rnd in verifier_rounds],
+            own_labels=[rnd.label(v) for rnd in prover_rounds],
+            neighbor_labels=[[rnd.label(u) for u in nbrs] for rnd in prover_rounds],
+            edge_labels=[
+                [rnd.edge_label(v, u) for u in nbrs] for rnd in prover_rounds
+            ],
+        )
+        if shared_inputs:
+            view.neighbor_inputs = [dict(shared_inputs.get(u, no_input)) for u in nbrs]
+        else:
+            view.neighbor_inputs = [no_input] * len(nbrs)
         views[v] = view
     return views

@@ -10,29 +10,45 @@ coloring along a reverse degeneracy order uses at most 6 colors
 
 from __future__ import annotations
 
-import heapq
 from typing import Dict, List
 
 from ..core.network import Graph
 
 
 def degeneracy_order(graph: Graph) -> List[int]:
-    """Nodes in a smallest-last (degeneracy) elimination order."""
-    degree = {v: graph.degree(v) for v in graph.nodes()}
-    removed = set()
-    heap = [(d, v) for v, d in degree.items()]
-    heapq.heapify(heap)
+    """Nodes in a smallest-last (degeneracy) elimination order.
+
+    Bucket queue with lazy deletion (Matula-Beck): O(n + m) with small
+    constants.  Stale bucket entries are skipped by re-checking a node's
+    current degree on pop; after each removal the scan pointer backs up by
+    one, since degrees drop by at most one per removed neighbor.
+    """
+    n = graph.n
+    degree = [len(a) for a in graph._adj]
+    max_deg = max(degree, default=0)
+    buckets: List[List[int]] = [[] for _ in range(max_deg + 1)]
+    for v in range(n):
+        buckets[degree[v]].append(v)
+    removed = [False] * n
     order: List[int] = []
-    while heap:
-        d, v = heapq.heappop(heap)
-        if v in removed or d != degree[v]:
+    cur = 0
+    while len(order) < n:
+        bucket = buckets[cur]
+        if not bucket:
+            cur += 1
             continue
-        removed.add(v)
+        v = bucket.pop()
+        if removed[v] or degree[v] != cur:
+            continue  # stale entry; the live one sits in another bucket
+        removed[v] = True
         order.append(v)
         for u in graph.neighbors(v):
-            if u not in removed:
-                degree[u] -= 1
-                heapq.heappush(heap, (degree[u], u))
+            if not removed[u]:
+                d = degree[u] - 1
+                degree[u] = d
+                buckets[d].append(u)
+        if cur:
+            cur -= 1
     return order
 
 
@@ -51,14 +67,14 @@ def degeneracy(graph: Graph) -> int:
 def greedy_coloring(graph: Graph) -> Dict[int, int]:
     """A proper coloring with at most degeneracy+1 colors (<= 6 if planar)."""
     order = degeneracy_order(graph)
-    color: Dict[int, int] = {}
+    col = [-1] * graph.n  # -1 marks "uncolored"; it never blocks a c >= 0
     for v in reversed(order):
-        taken = {color[u] for u in graph.neighbors(v) if u in color}
+        taken = {col[u] for u in graph.neighbors(v)}
         c = 0
         while c in taken:
             c += 1
-        color[v] = c
-    return color
+        col[v] = c
+    return dict(enumerate(col))
 
 
 def is_proper_coloring(graph: Graph, color: Dict[int, int]) -> bool:

@@ -41,18 +41,23 @@ def random_laminar_intervals(
     spans are at least ``min_span`` (so they are chords, not path edges).
     """
     chosen: List[Tuple[int, int]] = []
+    chosen_set: Set[Tuple[int, int]] = set()
     attempts = 0
     while len(chosen) < target and attempts < 20 * (target + 1):
         attempts += 1
         i = rng.randrange(0, n - min_span)
         j = rng.randrange(i + min_span, min(n, i + max(min_span + 1, n // 2) + 1))
-        if (i, j) in chosen:
+        if (i, j) in chosen_set:
             continue
-        if any(
-            (a < i < b < j) or (i < a < j < b) for a, b in chosen
-        ):
+        crossing = False
+        for a, b in chosen:
+            if (a < i < b < j) or (i < a < j < b):
+                crossing = True
+                break
+        if crossing:
             continue
         chosen.append((i, j))
+        chosen_set.add((i, j))
     return chosen
 
 

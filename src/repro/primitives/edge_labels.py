@@ -44,10 +44,18 @@ class EdgeLabelSimulation:
             forest_encoding_labels(self.graph, f) for f in self.forests
         ]
         out: Dict[int, Label] = {}
+        # forest encodings are interned per distinct field tuple, so whole
+        # setup wrappers repeat too -- share them by sub-label identity
+        interned: Dict[Tuple[int, ...], Label] = {}
         for v in self.graph.nodes():
-            lbl = Label()
-            for i in range(N_FORESTS):
-                lbl.sub(f"forest{i}", per_forest[i][v])
+            subs = tuple(per_forest[i][v] for i in range(N_FORESTS))
+            key = tuple(map(id, subs))
+            lbl = interned.get(key)
+            if lbl is None:
+                lbl = Label()
+                for i, sub in enumerate(subs):
+                    lbl.sub(f"forest{i}", sub)
+                interned[key] = lbl
             out[v] = lbl
         return out
 

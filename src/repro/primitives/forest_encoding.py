@@ -36,7 +36,7 @@ FOREST_LABEL_BITS = 2 * COLOR_BITS + 2
 
 def _contracted_graph(
     graph: Graph, forest: RootedForest, contract_parity: int
-) -> Tuple[Graph, Dict[int, int]]:
+) -> Tuple[Graph, List[int]]:
     """Contract every (v, parent(v)) edge with depth(v) % 2 == contract_parity.
 
     Returns the contracted graph plus the map node -> contracted-node id.
@@ -57,18 +57,22 @@ def _contracted_graph(
             if rv != rp:
                 rep[rv] = rp
     group: Dict[int, int] = {}
-    mapping: Dict[int, int] = {}
-    for v in graph.nodes():
+    mapping = [0] * graph.n
+    for v in range(graph.n):
         r = find(v)
-        if r not in group:
-            group[r] = len(group)
-        mapping[v] = group[r]
-    contracted = Graph(len(group))
-    for u, v in graph.edges():
-        cu, cv = mapping[u], mapping[v]
-        if cu != cv:
-            contracted.add_edge(cu, cv)
-    return contracted, mapping
+        g = group.get(r)
+        if g is None:
+            g = group[r] = len(group)
+        mapping[v] = g
+    edges = []
+    for u in range(graph.n):
+        cu = mapping[u]
+        for v in graph.neighbors(u):
+            if u < v:
+                cv = mapping[v]
+                if cu != cv:
+                    edges.append((cu, cv))
+    return Graph.from_edge_list(len(group), edges), mapping
 
 
 def forest_encoding_labels(graph: Graph, forest: RootedForest) -> Dict[int, Label]:
@@ -85,14 +89,27 @@ def forest_encoding_labels(graph: Graph, forest: RootedForest) -> Dict[int, Labe
         )
     roots = set(forest.roots())
     labels: Dict[int, Label] = {}
+    # Intern labels by field value: there are at most MAX_COLORS^2 * 4
+    # distinct ones, and nodes with equal fields can share one immutable
+    # Label object (downstream code never mutates transcript labels --
+    # adversarial edits go through the copying ``with_value``).  Sharing
+    # also lets per-object decode caches collapse equal labels into one
+    # memo entry.
+    interned: Dict[Tuple[int, int, int, bool], Label] = {}
+    depth = forest.depth
     for v in graph.nodes():
-        labels[v] = (
-            Label()
-            .uint("c1", col_odd[map_odd[v]], COLOR_BITS)
-            .uint("c2", col_even[map_even[v]], COLOR_BITS)
-            .uint("parity", forest.depth(v) % 2, 1)
-            .flag("is_root", v in roots)
-        )
+        key = (col_odd[map_odd[v]], col_even[map_even[v]], depth(v) % 2, v in roots)
+        lbl = interned.get(key)
+        if lbl is None:
+            c1, c2, parity, is_root = key
+            lbl = interned[key] = (
+                Label()
+                .uint("c1", c1, COLOR_BITS)
+                .uint("c2", c2, COLOR_BITS)
+                .uint("parity", parity, 1)
+                .flag("is_root", is_root)
+            )
+        labels[v] = lbl
     return labels
 
 
@@ -103,6 +120,63 @@ class DecodedForestView:
     parent_port: Optional[int]  # None for a (claimed) root
     children_ports: List[int]
     is_root: bool
+
+
+#: sentinel distinguishing "field absent" from any legal field value
+_ABSENT = object()
+
+#: a label's Lemma-2.3 payload, extracted once: (c1, c2, parity, is_root)
+ForestFields = Tuple[object, object, object, object]
+
+
+def forest_label_fields(label: Label) -> Optional[ForestFields]:
+    """Extract ``(c1, c2, parity, is_root)`` from a Lemma-2.3 label.
+
+    Returns None when any of the four fields is missing — exactly the
+    labels :func:`decode_forest_view` rejects as malformed.  The tuple is
+    a pure function of the label, so callers may memoize it per label
+    object (the decode-cache fast path) and decode once per run instead
+    of once per node.
+    """
+    get = label.get
+    c1 = get("c1", _ABSENT)
+    c2 = get("c2", _ABSENT)
+    parity = get("parity", _ABSENT)
+    is_root = get("is_root", _ABSENT)
+    if c1 is _ABSENT or c2 is _ABSENT or parity is _ABSENT or is_root is _ABSENT:
+        return None
+    return (c1, c2, parity, is_root)
+
+
+def decode_forest_fields(
+    own: ForestFields, neighbor_fields: Sequence[ForestFields]
+) -> Optional[DecodedForestView]:
+    """Port decode over pre-extracted field tuples (see decode_forest_view)."""
+    c1, c2, parity, is_root = own
+    if parity == 1:
+        pk, own_pc, ck, own_cc = 0, c1, 1, c2  # parent via c1, children via c2
+    else:
+        pk, own_pc, ck, own_cc = 1, c2, 0, c1
+    parent_candidates = [
+        port
+        for port, f in enumerate(neighbor_fields)
+        if f[2] != parity and f[pk] == own_pc
+    ]
+    children = [
+        port
+        for port, f in enumerate(neighbor_fields)
+        if f[2] != parity and f[ck] == own_cc
+    ]
+    if is_root:
+        if parent_candidates:
+            return None  # a root must not decode a parent
+        return DecodedForestView(None, children, True)
+    if len(parent_candidates) != 1:
+        return None
+    parent_port = parent_candidates[0]
+    if parent_port in children:
+        return None  # a neighbor cannot be both parent and child
+    return DecodedForestView(parent_port, children, False)
 
 
 def decode_forest_view(
@@ -119,33 +193,17 @@ def decode_forest_view(
     - parity(v) = 0: parent is the unique neighbor u with parity 1 and
       c2(u) = c2(v); children are the neighbors with parity 1 and
       c1(u) = c1(v).
+
+    Implemented as extract-then-decode over :func:`forest_label_fields`
+    so the cached and uncached paths share one decoder.
     """
-    required = ("c1", "c2", "parity", "is_root")
-    if any(k not in own for k in required):
+    own_fields = forest_label_fields(own)
+    if own_fields is None:
         return None
+    nbr_fields = []
     for lbl in neighbor_labels:
-        if any(k not in lbl for k in required):
+        f = forest_label_fields(lbl)
+        if f is None:
             return None
-    parity = own["parity"]
-    parent_color_key = "c1" if parity == 1 else "c2"
-    child_color_key = "c2" if parity == 1 else "c1"
-    parent_candidates = [
-        port
-        for port, lbl in enumerate(neighbor_labels)
-        if lbl["parity"] != parity and lbl[parent_color_key] == own[parent_color_key]
-    ]
-    children = [
-        port
-        for port, lbl in enumerate(neighbor_labels)
-        if lbl["parity"] != parity and lbl[child_color_key] == own[child_color_key]
-    ]
-    if own["is_root"]:
-        if parent_candidates:
-            return None  # a root must not decode a parent
-        return DecodedForestView(None, children, True)
-    if len(parent_candidates) != 1:
-        return None
-    parent_port = parent_candidates[0]
-    if parent_port in children:
-        return None  # a neighbor cannot be both parent and child
-    return DecodedForestView(parent_port, children, False)
+        nbr_fields.append(f)
+    return decode_forest_fields(own_fields, nbr_fields)

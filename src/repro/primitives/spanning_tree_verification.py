@@ -30,6 +30,7 @@ Each repetition fails cheaters independently with probability 1 - 1/17.
 
 from __future__ import annotations
 
+import functools
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -49,16 +50,28 @@ def coin_widths(n: int, repetitions: int) -> Dict[int, int]:
     return {v: repetitions * STV_ELEM_BITS for v in range(n)}
 
 
-def split_coins(coins: BitString, repetitions: int) -> List[int]:
+_ELEM_MASK = (1 << STV_ELEM_BITS) - 1
+
+
+@functools.lru_cache(maxsize=64)
+def _round3_keys(repetitions: int) -> Tuple[Tuple[str, str], ...]:
+    """The ``(s{j}, Z{j})`` field-name pairs, built once per t."""
+    return tuple((f"s{j}", f"Z{j}") for j in range(repetitions))
+
+
+def split_coins(coins, repetitions: int) -> List[int]:
     """Decode a node's round-2 coins into t field elements.
 
-    Values are reduced mod p; the tiny bias (32 raw values onto 17) is
+    Accepts a :class:`BitString` or its raw integer value (hot callers
+    pre-mask the relevant bits and skip the BitString wrapper).  Values
+    are reduced mod p; the tiny bias (32 raw values onto 17) is
     irrelevant to the soundness argument and keeps coins fixed-width.
     """
     out = []
-    value = coins.value
+    value = coins if isinstance(coins, int) else coins.value
+    p = STV_FIELD.p
     for _ in range(repetitions):
-        out.append((value & ((1 << STV_ELEM_BITS) - 1)) % STV_FIELD.p)
+        out.append((value & _ELEM_MASK) % p)
         value >>= STV_ELEM_BITS
     return out
 
@@ -93,14 +106,41 @@ def honest_round3_labels(
             for j in range(repetitions):
                 sums[j] = (sums[j] + s[c][j]) % STV_FIELD.p
         s[v] = sums
+    keys = _round3_keys(repetitions)
+    # trusted construction: every value above is reduced mod p already
+    ew = field_elem_width(STV_FIELD.p)
+    size = 2 * repetitions * ew
     labels: Dict[int, Label] = {}
     for v in graph.nodes():
-        lbl = Label()
-        for j in range(repetitions):
-            lbl.field_elem(f"s{j}", s[v][j], STV_FIELD.p)
-            lbl.field_elem(f"Z{j}", z_totals[j], STV_FIELD.p)
-        labels[v] = lbl
+        s_v = s[v]
+        fields = {}
+        for j, (key_s, key_z) in enumerate(keys):
+            fields[key_s] = ("felem", s_v[j], ew)
+            fields[key_z] = ("felem", z_totals[j], ew)
+        labels[v] = Label._trusted(fields, size)
     return labels
+
+
+#: sentinel for a missing s/Z field (None never appears as a field value here)
+_ABSENT = object()
+
+#: per-label STV payload: one (s_j, Z_j) pair per repetition, _ABSENT where
+#: the field is missing.  Z is required of *all* neighbors but s only of
+#: children, so absence must stay per-field, not per-label.
+StvFields = Tuple[Tuple[object, object], ...]
+
+
+def stv_label_fields(label: Label, repetitions: int) -> StvFields:
+    """Extract the ``(s{j}, Z{j})`` pairs of one round-3 label, once.
+
+    Pure in the label, hence memoizable per label object by the decode
+    cache: each label is read once per run instead of once per incident
+    edge."""
+    get = label.get
+    return tuple(
+        (get(key_s, _ABSENT), get(key_z, _ABSENT))
+        for key_s, key_z in _round3_keys(repetitions)
+    )
 
 
 def check_node(
@@ -121,6 +161,25 @@ def check_node(
     """
     if decoded is None:
         return False
+    return check_node_fields(
+        decoded,
+        own_coins,
+        stv_label_fields(own_label, repetitions),
+        [stv_label_fields(lbl, repetitions) for lbl in neighbor_labels],
+        repetitions,
+        expected_tree_ports,
+    )
+
+
+def check_node_fields(
+    decoded: DecodedForestView,
+    own_coins: BitString,
+    own_fields: StvFields,
+    neighbor_fields: Sequence[StvFields],
+    repetitions: int,
+    expected_tree_ports: Optional[Sequence[int]] = None,
+) -> bool:
+    """:func:`check_node` over pre-extracted ``stv_label_fields`` tuples."""
     if expected_tree_ports is not None:
         decoded_ports = set(decoded.children_ports)
         if decoded.parent_port is not None:
@@ -129,28 +188,28 @@ def check_node(
             return False
     x = split_coins(own_coins, repetitions)
     p = STV_FIELD.p
+    children = decoded.children_ports
+    is_root = decoded.is_root
     for j in range(repetitions):
-        key_s, key_z = f"s{j}", f"Z{j}"
-        if key_s not in own_label or key_z not in own_label:
+        s_v, z_v = own_fields[j]
+        if s_v is _ABSENT or z_v is _ABSENT:
             return False
-        s_v = own_label[key_s]
-        z_v = own_label[key_z]
         if not (0 <= s_v < p and 0 <= z_v < p):
             return False
         # global-sum consistency across every graph edge
-        for lbl in neighbor_labels:
-            if key_z not in lbl or lbl[key_z] != z_v:
+        for nf in neighbor_fields:
+            if nf[j][1] != z_v:  # _ABSENT never equals a field value
                 return False
         # subtree-sum recurrence
         total = x[j]
-        for port in decoded.children_ports:
-            lbl = neighbor_labels[port]
-            if key_s not in lbl:
+        for port in children:
+            s_u = neighbor_fields[port][j][0]
+            if s_u is _ABSENT:
                 return False
-            total = (total + lbl[key_s]) % p
+            total = (total + s_u) % p
         if total != s_v:
             return False
-        if decoded.is_root and s_v != z_v:
+        if is_root and s_v != z_v:
             return False
     return True
 

@@ -51,11 +51,18 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, List, Optional, Tuple
 
-from ..core.labels import BitString, Label, field_elem_width, uint_width
+from ..core.labels import EMPTY_LABEL, BitString, Label, field_elem_width, uint_width
 from ..core.network import Edge, Graph, norm_edge
-from ..core.protocol import DIPProtocol, Interaction, ProtocolError
+from ..core.protocol import (
+    DecodeCache,
+    DIPProtocol,
+    Interaction,
+    ProtocolError,
+    active_decode_cache,
+)
 from ..core.transcript import RunResult
 from ..core.views import NodeView
 from ..primitives.fields import next_prime
@@ -70,43 +77,62 @@ IN = "in"
 
 @dataclass(frozen=True)
 class LRParams:
-    """All size/field parameters, derived from n and the soundness constant c."""
+    """All size/field parameters, derived from n and the soundness constant c.
+
+    The derived quantities are ``cached_property``s: they are pure in
+    ``(n, c)`` but sit on every hot path of the verifier (``L`` alone is
+    read hundreds of thousands of times per batch), so each is computed
+    once per instance.  ``cached_property`` writes straight into the
+    instance ``__dict__``, which a frozen dataclass permits (only
+    ``__setattr__`` is blocked); equality, hashing, and pickling still
+    depend on the declared fields alone.
+    """
 
     n: int
     c: int = 2
 
-    @property
+    @cached_property
     def L(self) -> int:
         """Block length: ceil(log2 n) (at least 2, so that pos(b)+1 always
         fits into the L position bits: #blocks = n/L <= 2^L - 1 for L >= 2)."""
         return max(2, math.ceil(math.log2(max(2, self.n))))
 
-    @property
+    @cached_property
     def n_blocks(self) -> int:
         return max(1, self.n // self.L)
 
-    @property
+    @cached_property
     def index_width(self) -> int:
         """Bits for in-block indices 1 .. 2L-1."""
         return uint_width(2 * self.L)
 
-    @property
+    @cached_property
     def p(self) -> int:
         """Smallest prime > max(L, 2)^c  (~ log^c n)."""
         return next_prime(max(self.L, 2) ** self.c)
 
-    @property
+    @cached_property
     def p2(self) -> int:
         """Session field for pair multisets: smallest prime > p * 2^index_width."""
         return next_prime(self.p * (1 << self.index_width))
 
-    @property
+    @cached_property
     def fw(self) -> int:
         return field_elem_width(self.p)
 
-    @property
+    @cached_property
     def fw2(self) -> int:
         return field_elem_width(self.p2)
+
+    @cached_property
+    def fw_mask(self) -> int:
+        """Mask for one raw ``fw``-bit coin slice."""
+        return (1 << self.fw) - 1
+
+    @cached_property
+    def fw2_mask(self) -> int:
+        """Mask for one raw ``fw2``-bit coin slice."""
+        return (1 << self.fw2) - 1
 
     def block_of_position(self, q: int) -> int:
         return min(q // self.L, self.n_blocks - 1)
@@ -247,13 +273,13 @@ class HonestLRSortingProver(LRSortingProver):
         r = rp = 0
         if pm.n_blocks > 1:
             value = coins[left_end].value >> pm.fw  # skip the r_b coin
-            r = (value & ((1 << pm.fw) - 1)) % pm.p
-            rp = ((value >> pm.fw) & ((1 << pm.fw) - 1)) % pm.p
+            r = (value & pm.fw_mask) % pm.p
+            rp = ((value >> pm.fw) & pm.fw_mask) % pm.p
         self.r, self.rp = r, rp
         rb: Dict[int, int] = {}
         for b in range(pm.n_blocks):
             leader = path[b * pm.L]
-            rb[b] = (coins[leader].value & ((1 << pm.fw) - 1)) % pm.p
+            rb[b] = (coins[leader].value & pm.fw_mask) % pm.p
         self.rb = rb
         # polynomial streams along each block
         node_fields: Dict[int, dict] = {}
@@ -320,8 +346,8 @@ class HonestLRSortingProver(LRSortingProver):
             leader = path[b * pm.L]
             value = coins.get(leader)
             raw = value.value if value is not None else 0
-            rq0 = (raw & ((1 << pm.fw2) - 1)) % pm.p2
-            rq1 = ((raw >> pm.fw2) & ((1 << pm.fw2) - 1)) % pm.p2
+            rq0 = (raw & pm.fw2_mask) % pm.p2
+            rq1 = ((raw >> pm.fw2) & pm.fw2_mask) % pm.p2
             rq[b] = (rq0, rq1)
         # per-node committed-pair sets C0 (tails) and C1 (heads)
         c_pairs: Dict[Tuple[int, int], set] = {}
@@ -594,20 +620,29 @@ class LRNodeSlice:
 
     @classmethod
     def from_view(cls, view: NodeView) -> "LRNodeSlice":
-        def unwrap(lbl: Label) -> Label:
-            # in simulated-edge-label mode the protocol fields are nested
-            # under a "node" sub-label (next to the folded edge payloads)
-            return lbl["node"] if "node" in lbl else lbl
+        # unwraps are pure per label and every round label is shared with
+        # all neighbors, so memoize them in the sweep's decode cache
+        cache = active_decode_cache()
+        if cache is None:
+            cache = DecodeCache()
+        cget = cache.get
+        memo = cache.sub("lr_unwrap")
 
         rounds = len(view.own_labels)
-        empty = Label()
+        empty = EMPTY_LABEL
 
         def own(i):
-            return unwrap(view.own(i)) if i < rounds else empty
+            if i >= rounds:
+                return empty
+            lbl = view.own_labels[i]
+            return cget(memo, id(lbl), _unwrap_node, lbl)
 
         def nbrs(i):
             if i < rounds:
-                return [unwrap(l) for l in view.neighbor_labels[i]]
+                return [
+                    cget(memo, id(l), _unwrap_node, l)
+                    for l in view.neighbor_labels[i]
+                ]
             return [empty] * view.degree
 
         def edges(i):
@@ -641,28 +676,148 @@ def _make_checker(pm: LRParams, sessions: bool = True):
     return check
 
 
+_ABSENT = object()
+
+
+def _unwrap_node(lbl: Label) -> Label:
+    # in simulated-edge-label mode the protocol fields are nested under a
+    # "node" sub-label (next to the folded edge payloads)
+    node = lbl.get("node", _ABSENT)
+    return node if node is not _ABSENT else lbl
+
+
 def _get(label: Label, *names):
+    get = label.get
     out = []
     for name in names:
-        if name not in label:
+        value = get(name, _ABSENT)
+        if value is _ABSENT:
             return None
-        out.append(label[name])
+        out.append(value)
     return tuple(out)
 
 
+def _r1_fields(label: Label):
+    """Round-1 payload ``(idx, x1bit, x2bit, side, M)``; missing -> _ABSENT."""
+    get = label.get
+    return (
+        get("idx", _ABSENT),
+        get("x1bit", _ABSENT),
+        get("x2bit", _ABSENT),
+        get("side", _ABSENT),
+        get("M", _ABSENT),
+    )
+
+
+def _r3_fields(label: Label):
+    """Round-3 payload ``(r, rp, rb, pfx2_r, sfx1_r, pfx1_rp)``."""
+    get = label.get
+    return (
+        get("r", _ABSENT),
+        get("rp", _ABSENT),
+        get("rb", _ABSENT),
+        get("pfx2_r", _ABSENT),
+        get("sfx1_r", _ABSENT),
+        get("pfx1_rp", _ABSENT),
+    )
+
+
+def _r5_fields(label: Label):
+    """Round-5 payload ``(rq0, rq1, A0, A1, B0, B1)``."""
+    get = label.get
+    return (
+        get("rq0", _ABSENT),
+        get("rq1", _ABSENT),
+        get("A0", _ABSENT),
+        get("A1", _ABSENT),
+        get("B0", _ABSENT),
+        get("B1", _ABSENT),
+    )
+
+
+def _e1_fields(label: Label):
+    """Round-1 edge payload ``(inner, I)``."""
+    get = label.get
+    return (get("inner", _ABSENT), get("I", _ABSENT))
+
+
+def _e3_fields(label: Label):
+    """Round-3 edge payload ``(jval,)``."""
+    return (label.get("jval", _ABSENT),)
+
+
 def lr_check_node(pm: LRParams, view: LRNodeSlice, sessions: bool = True) -> bool:  # noqa: C901
-    """The complete local verification at one node (Section 4)."""
+    """The complete local verification at one node (Section 4).
+
+    All label-field reads go through per-kind field-tuple extractors
+    (``_r1_fields`` etc.) memoized in the sweep's decode cache: a label
+    shared by several nodes (every neighbor label is) is decoded once per
+    run instead of once per reader.  Missing fields surface as ``_ABSENT``
+    slots, which compare unequal to every legal value, so most reads need
+    no explicit missing-check beyond the comparison itself.
+    """
     kinds = view.port_kinds
     left_port = next((p for p, k in enumerate(kinds) if k == PATH_LEFT), None)
     right_port = next((p for p, k in enumerate(kinds) if k == PATH_RIGHT), None)
     if pm.n == 1:
         return True
 
-    r1_own = view.own(0)
-    got = _get(r1_own, "idx")
-    if got is None:
+    cache = active_decode_cache()
+    if cache is None:
+        cache = DecodeCache()
+    m1 = cache.sub("lr_f1")
+    m3 = cache.sub("lr_f3")
+    m5 = cache.sub("lr_f5")
+    me1 = cache.sub("lr_e1")
+    me3 = cache.sub("lr_e3")
+
+    # Raw memo-dict access rather than the counting ``cache.get``: these
+    # are the hottest reads in the tree and the extractors never return
+    # None, so a plain .get() miss-check suffices.  The lr_* kinds are
+    # therefore invisible to the hit/miss metrics; the counted kinds in
+    # the wrapping protocols still measure cache effectiveness.
+
+    def f1(lbl: Label, _m=m1):
+        k = id(lbl)
+        t = _m.get(k)
+        if t is None:
+            t = _m[k] = _r1_fields(lbl)
+        return t
+
+    def f3(lbl: Label, _m=m3):
+        k = id(lbl)
+        t = _m.get(k)
+        if t is None:
+            t = _m[k] = _r3_fields(lbl)
+        return t
+
+    def f5(lbl: Label, _m=m5):
+        k = id(lbl)
+        t = _m.get(k)
+        if t is None:
+            t = _m[k] = _r5_fields(lbl)
+        return t
+
+    def fe1(lbl: Label, _m=me1):
+        k = id(lbl)
+        t = _m.get(k)
+        if t is None:
+            t = _m[k] = _e1_fields(lbl)
+        return t
+
+    def fe3(lbl: Label, _m=me3):
+        k = id(lbl)
+        t = _m.get(k)
+        if t is None:
+            t = _m[k] = _e3_fields(lbl)
+        return t
+
+    nbrs1, nbrs3, nbrs5 = view._neighbors
+    edges1, edges3 = view._edges[0], view._edges[1]
+    own1 = f1(view._own[0])
+    idx = own1[0]
+    if idx is _ABSENT:
         return False
-    (idx,) = got
     L, B = pm.L, pm.n_blocks
 
     # ---- A. index structure ----
@@ -672,31 +827,30 @@ def lr_check_node(pm: LRParams, view: LRNodeSlice, sessions: bool = True) -> boo
         return False
     right_idx = None
     if right_port is not None:
-        got = _get(view.neighbor(0, right_port), "idx")
-        if got is None:
+        right_idx = f1(nbrs1[right_port])[0]
+        if right_idx is _ABSENT:
             return False
-        (right_idx,) = got
         if right_idx == 1:
             if idx != L:
                 return False
         elif right_idx != idx + 1:
             return False
     if left_port is not None and idx > 1:
-        got = _get(view.neighbor(0, left_port), "idx")
-        if got is None or got[0] != idx - 1:
+        if f1(nbrs1[left_port])[0] != idx - 1:
             return False
     same_block_right = right_port is not None and right_idx == idx + 1
     same_block_left = left_port is not None and idx > 1
 
     if B == 1:
         # single block: only inner-block machinery applies
-        return _check_inner_edges(pm, view, kinds, idx, same_block_left, left_port)
+        return _check_inner_edges(
+            pm, view, kinds, idx, same_block_left, left_port, f1, f3, fe1
+        )
 
     # ---- B. consecutive-numbers proof (x2 = x1 + 1) ----
-    got = _get(r1_own, "x1bit", "x2bit", "side")
-    if got is None:
+    x1bit, x2bit, side = own1[1], own1[2], own1[3]
+    if x1bit is _ABSENT or x2bit is _ABSENT or side is _ABSENT:
         return False
-    x1bit, x2bit, side = got
     if idx <= L:
         if side == 2 and not (x1bit == 1 and x2bit == 0):
             return False
@@ -707,70 +861,78 @@ def lr_check_node(pm: LRParams, view: LRNodeSlice, sessions: bool = True) -> boo
         if idx == L and side == 0:
             return False  # every block needs a v_b
         if same_block_right and idx + 1 <= L:
-            r_side = _get(view.neighbor(0, right_port), "side")
-            if r_side is None:
+            r_side = f1(nbrs1[right_port])[3]
+            if r_side is _ABSENT:
                 return False
-            if side in (1, 2) and r_side[0] != 2:
+            if side in (1, 2) and r_side != 2:
                 return False
         if same_block_left and idx - 1 <= L:
-            l_side = _get(view.neighbor(0, left_port), "side")
-            if l_side is None:
+            l_side = f1(nbrs1[left_port])[3]
+            if l_side is _ABSENT:
                 return False
-            if side in (0, 1) and l_side[0] != 0:
+            if side in (0, 1) and l_side != 0:
                 return False
     else:
         if x1bit != 0 or x2bit != 0:
             return False
 
     # ---- C. position streams over F_p ----
-    r3_own = view.own(1)
-    got = _get(r3_own, "r", "rp", "rb", "pfx2_r", "sfx1_r", "pfx1_rp")
-    if got is None:
+    own3 = f3(view._own[1])
+    r, rp, rb, pfx2, sfx1, pfx1 = own3
+    if (
+        r is _ABSENT
+        or rp is _ABSENT
+        or rb is _ABSENT
+        or pfx2 is _ABSENT
+        or sfx1 is _ABSENT
+        or pfx1 is _ABSENT
+    ):
         return False
-    r, rp, rb, pfx2, sfx1, pfx1 = got
     p = pm.p
     # global consistency of r, r' along the path
     for port in (left_port, right_port):
         if port is None:
             continue
-        nb = _get(view.neighbor(1, port), "r", "rp")
-        if nb is None or nb != (r, rp):
+        nb = f3(nbrs3[port])
+        if nb[0] != r or nb[1] != rp:
             return False
     if left_port is None:
         # the leftmost path node anchors r, r' to its own coins
         raw = view.coin2 >> pm.fw
-        if r != (raw & ((1 << pm.fw) - 1)) % p:
+        if r != (raw & pm.fw_mask) % p:
             return False
-        if rp != ((raw >> pm.fw) & ((1 << pm.fw) - 1)) % p:
+        if rp != ((raw >> pm.fw) & pm.fw_mask) % p:
             return False
     # stream recurrences
-    f2 = (idx - r) % p if (idx <= L and x2bit) else 1
+    f2v = (idx - r) % p if (idx <= L and x2bit) else 1
     f1r = (idx - r) % p if (idx <= L and x1bit) else 1
     f1rp = (idx - rp) % p if (idx <= L and x1bit) else 1
     if same_block_left:
-        nb = _get(view.neighbor(1, left_port), "pfx2_r", "pfx1_rp")
-        if nb is None:
+        nb = f3(nbrs3[left_port])
+        npfx2, npfx1 = nb[3], nb[5]
+        if npfx2 is _ABSENT or npfx1 is _ABSENT:
             return False
-        if pfx2 != nb[0] * f2 % p or pfx1 != nb[1] * f1rp % p:
+        if pfx2 != npfx2 * f2v % p or pfx1 != npfx1 * f1rp % p:
             return False
     else:
-        if pfx2 != f2 % p or pfx1 != f1rp % p:
+        if pfx2 != f2v % p or pfx1 != f1rp % p:
             return False
     if same_block_right:
-        nb = _get(view.neighbor(1, right_port), "sfx1_r")
-        if nb is None or sfx1 != nb[0] * f1r % p:
+        nsfx = f3(nbrs3[right_port])[4]
+        if nsfx is _ABSENT or sfx1 != nsfx * f1r % p:
             return False
     else:
         if sfx1 != f1r % p:
             return False
     # adjacent-block equality at the boundary
     if idx == 1 and left_port is not None:
-        nb = _get(view.neighbor(1, left_port), "pfx2_r")
-        if nb is None or nb[0] != sfx1:
+        if f3(nbrs3[left_port])[3] != sfx1:
             return False
 
     # ---- D. inner-block edges ----
-    if not _check_inner_edges(pm, view, kinds, idx, same_block_left, left_port):
+    if not _check_inner_edges(
+        pm, view, kinds, idx, same_block_left, left_port, f1, f3, fe1
+    ):
         return False
 
     # ---- E. outer-block commitments ----
@@ -779,23 +941,20 @@ def lr_check_node(pm: LRParams, view: LRNodeSlice, sessions: bool = True) -> boo
     for port, kind in enumerate(kinds):
         if kind not in (OUT, IN):
             continue
-        e1 = view.edge(0, port)
-        inner = _get(e1, "inner")
-        if inner is None:
+        inner, ival = fe1(edges1[port])
+        if inner is _ABSENT:
             return False
-        if inner[0]:
+        if inner:
             continue
-        got_i = _get(e1, "I")
-        got_j = _get(view.edge(1, port), "jval")
-        if got_i is None or got_j is None:
+        jval = fe3(edges3[port])[0]
+        if ival is _ABSENT or jval is _ABSENT:
             return False
-        i, jval = got_i[0], got_j[0]
-        if not 1 <= i <= L or not 0 <= jval < p:
+        if not 1 <= ival <= L or not 0 <= jval < p:
             return False
         store = c0 if kind == OUT else c1
-        if i in store and store[i] != jval:
+        if ival in store and store[ival] != jval:
             return False  # same index, different value
-        store[i] = jval
+        store[ival] = jval
     if set(c0) & set(c1):
         return False  # an index cannot be 0-side and 1-side at once
 
@@ -803,21 +962,27 @@ def lr_check_node(pm: LRParams, view: LRNodeSlice, sessions: bool = True) -> boo
         return True  # ablation: rounds 4-5 (the verification scheme) dropped
 
     # ---- session streams over F_p2 ----
-    r5_own = view.own(2)
-    got = _get(r5_own, "rq0", "rq1", "A0", "A1", "B0", "B1")
-    if got is None:
+    own5 = f5(view._own[2])
+    rq0, rq1, a0, a1, b0, b1 = own5
+    if (
+        rq0 is _ABSENT
+        or rq1 is _ABSENT
+        or a0 is _ABSENT
+        or a1 is _ABSENT
+        or b0 is _ABSENT
+        or b1 is _ABSENT
+    ):
         return False
-    rq0, rq1, a0, a1, b0, b1 = got
     p2 = pm.p2
     if idx == 1:
         raw = view.coin4
-        if rq0 != (raw & ((1 << pm.fw2) - 1)) % p2:
+        if rq0 != (raw & pm.fw2_mask) % p2:
             return False
-        if rq1 != ((raw >> pm.fw2) & ((1 << pm.fw2) - 1)) % p2:
+        if rq1 != ((raw >> pm.fw2) & pm.fw2_mask) % p2:
             return False
     if same_block_left:
-        nb = _get(view.neighbor(2, left_port), "rq0", "rq1")
-        if nb is None or nb != (rq0, rq1):
+        nb = f5(nbrs5[left_port])
+        if nb[0] != rq0 or nb[1] != rq1:
             return False
     # own contribution terms
     contrib_a0 = 1
@@ -828,16 +993,14 @@ def lr_check_node(pm: LRParams, view: LRNodeSlice, sessions: bool = True) -> boo
         contrib_a1 = contrib_a1 * ((pm.pair_encode(i, jval) - rq1) % p2) % p2
     contrib_b0 = contrib_b1 = 1
     if idx <= L:
-        got_m = _get(r1_own, "M")
-        if got_m is None:
+        mult = own1[4]
+        if mult is _ABSENT:
             return False
-        mult = got_m[0]
         phi_prev = 1
         if idx > 1:
-            nb = _get(view.neighbor(1, left_port), "pfx1_rp")
-            if nb is None:
+            phi_prev = f3(nbrs3[left_port])[5]
+            if phi_prev is _ABSENT:
                 return False
-            phi_prev = nb[0]
         term_rq = rq1 if x1bit == 1 else rq0
         term = pow((pm.pair_encode(idx, phi_prev) - term_rq) % p2, mult, p2)
         if x1bit == 1:
@@ -846,10 +1009,10 @@ def lr_check_node(pm: LRParams, view: LRNodeSlice, sessions: bool = True) -> boo
             contrib_b0 = term
     # suffix recurrences
     if same_block_right:
-        nb = _get(view.neighbor(2, right_port), "A0", "A1", "B0", "B1")
-        if nb is None:
+        nb = f5(nbrs5[right_port])
+        na0, na1, nb0, nb1 = nb[2], nb[3], nb[4], nb[5]
+        if na0 is _ABSENT or na1 is _ABSENT or nb0 is _ABSENT or nb1 is _ABSENT:
             return False
-        na0, na1, nb0, nb1 = nb
     else:
         na0 = na1 = nb0 = nb1 = 1
     if a0 != na0 * contrib_a0 % p2 or a1 != na1 * contrib_a1 % p2:
@@ -869,40 +1032,41 @@ def _check_inner_edges(
     idx: int,
     same_block_left: bool,
     left_port,
+    f1,
+    f3,
+    fe1,
 ) -> bool:
     """Inner-block edge checks + r_b distribution consistency."""
-    r3_own = view.own(1)
-    got = _get(r3_own, "rb")
-    if got is None:
+    nbrs1, nbrs3 = view._neighbors[0], view._neighbors[1]
+    edges1 = view._edges[0]
+    rb = f3(view._own[1])[2]
+    if rb is _ABSENT:
         return False
-    (rb,) = got
     if idx == 1:
         raw = view.coin2
-        if rb != (raw & ((1 << pm.fw) - 1)) % pm.p:
+        if rb != (raw & pm.fw_mask) % pm.p:
             return False
     if same_block_left:
-        nb = _get(view.neighbor(1, left_port), "rb")
-        if nb is None or nb[0] != rb:
+        if f3(nbrs3[left_port])[2] != rb:
             return False
     for port, kind in enumerate(kinds):
         if kind not in (OUT, IN):
             continue
-        e1 = view.edge(0, port)
-        inner = _get(e1, "inner")
-        if inner is None:
+        inner = fe1(edges1[port])[0]
+        if inner is _ABSENT:
             return False
-        if not inner[0]:
+        if not inner:
             if pm.n_blocks == 1:
                 return False  # no outer edges can exist in a single block
             continue
-        nb_idx = _get(view.neighbor(0, port), "idx")
-        nb_rb = _get(view.neighbor(1, port), "rb")
-        if nb_idx is None or nb_rb is None:
+        nb_idx = f1(nbrs1[port])[0]
+        nb_rb = f3(nbrs3[port])[2]
+        if nb_idx is _ABSENT or nb_rb is _ABSENT:
             return False
-        if kind == OUT and not idx < nb_idx[0]:
+        if kind == OUT and not idx < nb_idx:
             return False
-        if kind == IN and not nb_idx[0] < idx:
+        if kind == IN and not nb_idx < idx:
             return False
-        if nb_rb[0] != rb:
+        if nb_rb != rb:
             return False
     return True

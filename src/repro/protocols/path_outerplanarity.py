@@ -35,9 +35,15 @@ import math
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.labels import BitString, Label, uint_width
+from ..core.labels import EMPTY_LABEL, BitString, Label, uint_width
 from ..core.network import Edge, Graph, norm_edge
-from ..core.protocol import DIPProtocol, Interaction, ProtocolError
+from ..core.protocol import (
+    DecodeCache,
+    DIPProtocol,
+    Interaction,
+    ProtocolError,
+    active_decode_cache,
+)
 from ..core.transcript import RunResult
 from ..core.views import NodeView
 from ..graphs.outerplanar import find_path_outerplanar_witness
@@ -45,14 +51,15 @@ from ..graphs.spanning import bfs_spanning_tree, hamiltonian_path_forest, Rooted
 from ..primitives.edge_labels import EdgeLabelSimulation, N_FORESTS
 from ..primitives.forest_encoding import (
     DecodedForestView,
-    decode_forest_view,
+    decode_forest_fields,
     forest_encoding_labels,
+    forest_label_fields,
 )
 from ..primitives.spanning_tree_verification import (
     STV_ELEM_BITS,
     honest_round3_labels as stv_round3,
-    check_node as stv_check,
-    split_coins as stv_split,
+    check_node_fields as stv_check_fields,
+    stv_label_fields,
 )
 from .instances import PathOuterplanarInstance
 from .lr_sorting import (
@@ -91,6 +98,10 @@ class PathOuterplanarityParams:
         #: random-name width (soundness ~ deg^2 / 2^w per node)
         self.w = max(4, c * uint_width(self.lr.L))
         self.stv_bits = self.t * STV_ELEM_BITS
+        #: precomputed coin-slicing constants (hot in every node check)
+        self.stv_mask = (1 << self.stv_bits) - 1
+        self.name_mask = (1 << self.w) - 1
+        self.lr_shift = self.stv_bits + self.w
 
     @property
     def name_width(self) -> int:
@@ -98,7 +109,7 @@ class PathOuterplanarityParams:
 
     def lr_coin2(self, raw: int, width: int) -> Tuple[int, int]:
         """Strip the STV + name prefix off a node's round-2 coins."""
-        shift = self.stv_bits + self.w
+        shift = self.lr_shift
         return raw >> shift, max(0, width - shift)
 
 
@@ -348,14 +359,26 @@ class PathOuterplanarityProtocol(DIPProtocol):
     def _lr_r1_node(self, pm, f) -> Optional[Label]:
         if not f:
             return None
-        lbl = Label().uint("idx", f["idx"], pm.lr.index_width)
+        iw = pm.lr.index_width
+        idx = f["idx"]
+        if idx < 0 or idx.bit_length() > iw:
+            raise ValueError(f"idx={idx} does not fit in {iw} bits")
+        fields = {"idx": ("uint", idx, iw)}
+        size = iw
         if pm.lr.n_blocks > 1:
-            lbl.uint("x1bit", f.get("x1bit", 0), 1)
-            lbl.uint("x2bit", f.get("x2bit", 0), 1)
-            lbl.uint("side", f.get("side", 0), 2)
+            for key, width in (("x1bit", 1), ("x2bit", 1), ("side", 2)):
+                value = f.get(key, 0)
+                if value < 0 or value.bit_length() > width:
+                    raise ValueError(f"{key}={value} does not fit in {width} bits")
+                fields[key] = ("uint", value, width)
+                size += width
             if "M" in f:
-                lbl.uint("M", f["M"], pm.lr.index_width)
-        return lbl
+                m = f["M"]
+                if m < 0 or m.bit_length() > iw:
+                    raise ValueError(f"M={m} does not fit in {iw} bits")
+                fields["M"] = ("uint", m, iw)
+                size += iw
+        return Label._trusted(fields, size)
 
     def _r1_edge(self, pm, f) -> Label:
         lbl = Label().flag("inner", f.get("inner", True))
@@ -366,18 +389,26 @@ class PathOuterplanarityProtocol(DIPProtocol):
         lbl.flag("lhead", f.get("lhead", False))
         return lbl
 
+    _R3_MULTI_KEYS = ("r", "rp", "pfx2_r", "sfx1_r", "pfx1_rp")
+
     def _r3_node(self, pm, f) -> Label:
-        lbl = Label()
+        plr = pm.lr
         stv = f.get("stv")
-        lbl.sub("stv", stv if isinstance(stv, Label) else None)
+        if not isinstance(stv, Label):
+            stv = Label()
         lr = f.get("lr") or {}
-        lr_lbl = None
         if lr:
-            lr_lbl = Label().field_elem("rb", lr["rb"], pm.lr.p)
-            if pm.lr.n_blocks > 1:
-                for key in ("r", "rp", "pfx2_r", "sfx1_r", "pfx1_rp"):
-                    lr_lbl.field_elem(key, lr[key], pm.lr.p)
-        lbl.sub("lr", lr_lbl)
+            p, ew = plr.p, plr.fw
+            keys = ("rb",) + self._R3_MULTI_KEYS if plr.n_blocks > 1 else ("rb",)
+            lf = {}
+            for key in keys:
+                value = lr[key]
+                if not 0 <= value < p:
+                    raise ValueError(f"{key}={value} is not an element of F_{p}")
+                lf[key] = ("felem", value, ew)
+            lr_lbl = Label._trusted(lf, ew * len(lf))
+        else:
+            lr_lbl = Label()
         nest = f.get("nest") or {}
         nest_lbl = (
             Label()
@@ -385,8 +416,14 @@ class PathOuterplanarityProtocol(DIPProtocol):
             .flag("has_left", nest.get("has_left", False))
             .flag("has_right", nest.get("has_right", False))
         )
-        lbl.sub("nest", nest_lbl)
-        return lbl
+        return Label._trusted(
+            {
+                "stv": ("label", stv, stv._size),
+                "lr": ("label", lr_lbl, lr_lbl._size),
+                "nest": ("label", nest_lbl, nest_lbl._size),
+            },
+            stv._size + lr_lbl._size + nest_lbl._size,
+        )
 
     def _r3_edge(self, pm, f) -> Label:
         lbl = Label()
@@ -398,15 +435,19 @@ class PathOuterplanarityProtocol(DIPProtocol):
         return lbl
 
     def _r5_node(self, pm, f) -> Label:
-        lbl = Label()
         lr = f.get("lr") or {}
-        lr_lbl = None
         if lr:
-            lr_lbl = Label()
+            p2, ew2 = pm.lr.p2, pm.lr.fw2
+            lf = {}
             for key in ("rq0", "rq1", "A0", "A1", "B0", "B1"):
-                lr_lbl.field_elem(key, lr[key], pm.lr.p2)
-        lbl.sub("lr", lr_lbl)
-        return lbl
+                value = lr[key]
+                if not 0 <= value < p2:
+                    raise ValueError(f"{key}={value} is not an element of F_{p2}")
+                lf[key] = ("felem", value, ew2)
+            lr_lbl = Label._trusted(lf, 6 * ew2)
+        else:
+            lr_lbl = Label()
+        return Label._trusted({"lr": ("label", lr_lbl, lr_lbl._size)}, lr_lbl._size)
 
     # -- execution -------------------------------------------------------------
 
@@ -453,10 +494,10 @@ class PathOuterplanarityProtocol(DIPProtocol):
         widths = {}
         for v in g.nodes():
             w = pm.stv_bits + pm.w
-            lr1 = labels1.get(v, Label()).get("lr")
+            lr1 = labels1.get(v, EMPTY_LABEL).get("lr")
             if lr1 is not None and lr1.get("idx") == 1:
                 w += pm.lr.fw
-            commit = labels1.get(v, Label()).get("commit")
+            commit = labels1.get(v, EMPTY_LABEL).get("commit")
             if commit is not None and commit.get("is_root"):
                 w += 2 * pm.lr.fw
             widths[v] = w
@@ -475,7 +516,7 @@ class PathOuterplanarityProtocol(DIPProtocol):
         widths4 = {}
         if pm.lr.n_blocks > 1:
             for v in g.nodes():
-                lr1 = labels1.get(v, Label()).get("lr")
+                lr1 = labels1.get(v, EMPTY_LABEL).get("lr")
                 if lr1 is not None and lr1.get("idx") == 1:
                     widths4[v] = 2 * pm.lr.fw2
         coins4 = interaction.verifier_round(widths4)
@@ -546,87 +587,212 @@ def _unwrap(label: Label) -> Label:
     return inner if isinstance(inner, Label) else label
 
 
+# ---------------------------------------------------------------------------
+# per-label extraction helpers (pure in the label object, hence memoizable
+# by the decode cache: a round-transcript label is shared between its owner
+# and all deg neighbors, so caching by id(label) turns deg+1 decodes into 1)
+# ---------------------------------------------------------------------------
+
+#: sentinel for an absent field / absent sub-label where None is a legal value
+_MISSING = object()
+
+_FOREST_KEYS = tuple(f"forest{i}" for i in range(N_FORESTS))
+
+
+def _commit_fields(wrapped: Label):
+    """Lemma-2.3 fields of the round-1 ``commit`` sub; None when the sub is
+    missing or its fields are malformed (both verdicts coincide: reject)."""
+    commit = _sub(_unwrap(wrapped), "commit")
+    if commit is None:
+        return None
+    return forest_label_fields(commit)
+
+
+def _forest_enc_fields(wrapped: Label):
+    """Extraction of the round-1 ``forests`` setup of one node.
+
+    None when the setup sub itself is absent.  Otherwise one entry per
+    forest: the forest's field tuple, None when its encoding fields are
+    malformed (that forest alone decodes to None), or ``_MISSING`` when
+    the ``forest{i}`` sub is absent (the *whole* simulation decode fails,
+    matching the stricter original behaviour)."""
+    setup = _sub(wrapped, "forests")
+    if setup is None:
+        return None
+    out = []
+    for key in _FOREST_KEYS:
+        enc = _sub(setup, key)
+        out.append(_MISSING if enc is None else forest_label_fields(enc))
+    return tuple(out)
+
+
+def _stv_fields(wrapped: Label, t: int):
+    """STV field pairs of the round-3 ``stv`` sub; None when absent."""
+    stv = _sub(_unwrap(wrapped), "stv")
+    if stv is None:
+        return None
+    return stv_label_fields(stv, t)
+
+
+def _lr_fields(wrapped: Label) -> Optional[Label]:
+    """The ``lr`` sub of a (possibly wrapped) round label."""
+    return _sub(_unwrap(wrapped), "lr")
+
+
+def _nest_fields(wrapped: Label):
+    """``(above, has_left, has_right)`` of the round-3 ``nest`` sub.
+
+    None when the sub is absent; ``_MISSING`` marks individual absent
+    fields ("above" may legitimately hold None, so absence needs a
+    sentinel)."""
+    nest = _sub(_unwrap(wrapped), "nest")
+    if nest is None:
+        return None
+    get = nest.get
+    return (
+        get("above", _MISSING),
+        get("has_left", _MISSING),
+        get("has_right", _MISSING),
+    )
+
+
+def _e1_nest_fields(label: Label):
+    """``(ltail, lhead)`` of a round-1 edge label; ``_MISSING`` if absent."""
+    get = label.get
+    return (get("ltail", _MISSING), get("lhead", _MISSING))
+
+
+def _e3_nest_fields(label: Label):
+    """``(name_t, name_h, succ)`` of a round-3 edge label."""
+    get = label.get
+    return (get("name_t", _MISSING), get("name_h", _MISSING), get("succ", _MISSING))
+
+
 def check_path_outerplanarity_node(  # noqa: C901
     pm: PathOuterplanarityParams, view: NodeView
 ) -> bool:
     if pm.n == 1:
         return True
-    wrapped_r1 = view.own(0)
-    r1 = _unwrap(wrapped_r1)
-    r3 = _unwrap(view.own(1))
-    r5 = _unwrap(view.own(2))
-    nbr = lambda i, port: _unwrap(view.neighbor(i, port))
+    # One decode cache per decide sweep (installed by Interaction.decide);
+    # with the cache disabled each node gets a private empty cache, which
+    # reproduces the uncached decode behaviour exactly.
+    cache = active_decode_cache()
+    if cache is None:
+        cache = DecodeCache()
+    m_commit = cache.sub("po_commit")
+    m_stv = cache.sub(f"po_stv{pm.t}")
+
+    own1 = view.own_labels[0]
+    own3 = view.own_labels[1]
+    own5 = view.own_labels[2]
+    nbr1 = view.neighbor_labels[0]
+    nbr3 = view.neighbor_labels[1]
+    nbr5 = view.neighbor_labels[2]
 
     # ---- 1. decode the committed path ----
-    commit = _sub(r1, "commit")
+    # raw memo-dict lookups (uncounted; see the lr_* kinds): _MISSING
+    # memoizes a malformed decode, since None is not a stable dict value
+    # to test against here
+    k = id(own1)
+    commit = m_commit.get(k)
     if commit is None:
+        commit = m_commit[k] = _commit_fields(own1) or _MISSING
+    if commit is _MISSING:
         return False
     nbr_commits = []
-    for port in view.ports():
-        c = _sub(nbr(0, port), "commit")
+    for lbl in nbr1:
+        k = id(lbl)
+        c = m_commit.get(k)
         if c is None:
+            c = m_commit[k] = _commit_fields(lbl) or _MISSING
+        if c is _MISSING:
             return False
         nbr_commits.append(c)
-    decoded = decode_forest_view(commit, nbr_commits)
+    decoded = decode_forest_fields(commit, nbr_commits)
     if decoded is None or len(decoded.children_ports) > 1:
         return False
     left_port = decoded.parent_port
     right_port = decoded.children_ports[0] if decoded.children_ports else None
 
     # ---- 2. spanning-tree verification of the commitment ----
-    stv_own = _sub(r3, "stv")
+    t_reps = pm.t
+    k = id(own3)
+    stv_own = m_stv.get(k)
     if stv_own is None:
+        stv_own = m_stv[k] = _stv_fields(own3, t_reps) or _MISSING
+    if stv_own is _MISSING:
         return False
     stv_neighbors = []
-    for port in view.ports():
-        s = _sub(nbr(1, port), "stv")
+    for lbl in nbr3:
+        k = id(lbl)
+        s = m_stv.get(k)
         if s is None:
+            s = m_stv[k] = _stv_fields(lbl, t_reps) or _MISSING
+        if s is _MISSING:
             return False
         stv_neighbors.append(s)
-    stv_coins = BitString(
-        view.coins[0].value & ((1 << pm.stv_bits) - 1), pm.stv_bits
-    )
-    if not stv_check(decoded, stv_coins, stv_own, stv_neighbors, pm.t):
+    stv_coins = view.coins[0].value & pm.stv_mask
+    if not stv_check_fields(decoded, stv_coins, stv_own, stv_neighbors, pm.t):
         return False
 
     # ---- 3. derive port kinds (path + claimed orientations) ----
-    forest_views = _decode_simulation_forests(view, wrapped_r1)
+    # the forest decode is only consulted for non-path ports, so defer it:
+    # path-internal nodes (the common case) never pay for it
+    forest_views: object = _MISSING
     kinds: List[str] = []
-    for port in view.ports():
+    edge1 = view.edge_labels[0]
+    for port in range(view.degree):
         if port == left_port:
             kinds.append(PATH_LEFT)
             continue
         if port == right_port:
             kinds.append(PATH_RIGHT)
             continue
-        e1 = view.edge_labels[0][port]
-        if "fwd" not in e1:
+        e1 = edge1[port]
+        fwd = e1.get("fwd", _MISSING)
+        if fwd is _MISSING:
             return False
+        if forest_views is _MISSING:
+            forest_views = _decode_simulation_forests(view, cache, own1, nbr1)
         accountable_is_me = _is_accountable(forest_views, port)
         if accountable_is_me is None:
             return False  # edge not covered by the arboricity partition
-        fwd = e1["fwd"]
         i_am_tail = (fwd and accountable_is_me) or (not fwd and not accountable_is_me)
         kinds.append(OUT if i_am_tail else IN)
 
     # ---- 4. the LR-sorting stage over the committed path ----
-    lr1, lr3, lr5 = _sub(r1, "lr"), _sub(r3, "lr"), _sub(r5, "lr")
-    if lr1 is None or lr3 is None:
+    # Raw memo-dict access (uncounted, like the lr_* kinds inside
+    # lr_check_node): these are the most frequent reads of the sweep.  A
+    # missing/non-Label ``lr`` sub is memoized as EMPTY_LABEL -- the
+    # EMPTY_LABEL object itself can never be a transcript sub-label, so
+    # the identity test below is equivalent to the None check.
+    m_lr = cache.sub("po_lr")
+
+    def flr(lbl: Label, _m=m_lr):
+        k = id(lbl)
+        t = _m.get(k)
+        if t is None:
+            t = _m[k] = _lr_fields(lbl) or EMPTY_LABEL
+        return t
+
+    lr1 = flr(own1)
+    lr3 = flr(own3)
+    lr5 = flr(own5)
+    if lr1 is EMPTY_LABEL or lr3 is EMPTY_LABEL:
         return False
-    if pm.lr.n_blocks > 1 and lr5 is None:
+    if pm.lr.n_blocks > 1 and lr5 is EMPTY_LABEL:
         return False
-    lr_nbrs = []
-    for i in range(3):
-        row = []
-        for port in view.ports():
-            row.append(_sub(nbr(i, port), "lr") or Label())
-        lr_nbrs.append(row)
-    coin2, _w = pm.lr_coin2(view.coins[0].value, view.coins[0].width)
+    lr_nbrs = [
+        [flr(l) for l in nbr1],
+        [flr(l) for l in nbr3],
+        [flr(l) for l in nbr5],
+    ]
+    coin2 = view.coins[0].value >> pm.lr_shift
     slice_ = LRNodeSlice(
         tuple(kinds),
-        [lr1, lr3, lr5 or Label()],
+        [lr1, lr3, lr5],
         lr_nbrs,
-        [view.edge_labels[i] for i in range(3)],
+        view.edge_labels,
         coin2,
         view.coins[1].value,
     )
@@ -634,32 +800,37 @@ def check_path_outerplanarity_node(  # noqa: C901
         return False
 
     # ---- 5. nesting verification ----
-    return _check_nesting(pm, view, kinds, left_port, right_port)
+    return _check_nesting(pm, view, kinds, left_port, right_port, cache)
 
 
-def _decode_simulation_forests(view: NodeView, wrapped_r1: Label):
+def _decode_simulation_forests(view: NodeView, cache, own1: Label, nbr1):
     """Decode the Lemma-2.4 forest encodings from the round-1 setup."""
-    setup = _sub(wrapped_r1, "forests")
+    cget = cache.get
+    memo = cache.sub("po_forests")
+    setup = cget(memo, id(own1), _forest_enc_fields, own1)
     if setup is None:
         return None
     nbr_setups = []
-    for port in view.ports():
-        s = _sub(view.neighbor(0, port), "forests")
+    for lbl in nbr1:
+        s = cget(memo, id(lbl), _forest_enc_fields, lbl)
         if s is None:
             return None
         nbr_setups.append(s)
     out = []
     for i in range(N_FORESTS):
-        own_enc = _sub(setup, f"forest{i}")
-        if own_enc is None:
+        own_enc = setup[i]
+        if own_enc is _MISSING:
             return None
+        bad = own_enc is None
         encs = []
         for s in nbr_setups:
-            e = _sub(s, f"forest{i}")
-            if e is None:
+            e = s[i]
+            if e is _MISSING:
                 return None
+            if e is None:
+                bad = True
             encs.append(e)
-        out.append(decode_forest_view(own_enc, encs))
+        out.append(None if bad else decode_forest_fields(own_enc, encs))
     return out
 
 
@@ -684,50 +855,69 @@ def _check_nesting(  # noqa: C901
     kinds: Sequence[str],
     left_port: Optional[int],
     right_port: Optional[int],
+    cache: DecodeCache,
 ) -> bool:
     w = pm.w
-    own_name = (view.coins[0].value >> pm.stv_bits) & ((1 << w) - 1)
-    nbr = lambda i, port: _unwrap(view.neighbor(i, port))
+    own_name = (view.coins[0].value >> pm.stv_bits) & pm.name_mask
+    cget = cache.get
+    m_nest = cache.sub("po_nest")
+    nbr3 = view.neighbor_labels[1]
+
+    def nest_of(port: int):
+        lbl = nbr3[port]
+        return cget(m_nest, id(lbl), _nest_fields, lbl)
 
     def above_of(port: Optional[int]):
         """above() of a neighbor node; 'missing' on malformed labels."""
         if port is None:
             return "missing"
-        nest = _sub(nbr(1, port), "nest")
-        if nest is None or "above" not in nest:
+        info = nest_of(port)
+        if info is None or info[0] is _MISSING:
             return "missing"
-        return nest["above"]
+        return info[0]
 
-    def nest_of(port: int) -> Optional[Label]:
-        return _sub(nbr(1, port), "nest")
-
-    own_nest = _sub(_unwrap(view.own(1)), "nest")
-    if own_nest is None or any(
-        k not in own_nest for k in ("above", "has_left", "has_right")
-    ):
+    own3 = view.own_labels[1]
+    own_info = cget(m_nest, id(own3), _nest_fields, own3)
+    if own_info is None:
         return False
-    own_above = own_nest["above"]
+    own_above, own_has_left, own_has_right = own_info
+    if own_above is _MISSING or own_has_left is _MISSING or own_has_right is _MISSING:
+        return False
 
     rights: List[Tuple[int, Optional[int], bool, bool]] = []
     lefts: List[Tuple[int, Optional[int], bool, bool]] = []
+    edge1 = view.edge_labels[0]
+    edge3 = view.edge_labels[1]
+    # edge labels are shared by both endpoints: memoize their extracted
+    # nesting fields so each edge is read once per sweep (raw, uncounted)
+    m_e1 = cache.sub("po_e1")
+    m_e3 = cache.sub("po_e3")
     for port, kind in enumerate(kinds):
         if kind not in (OUT, IN):
             continue
-        e1 = view.edge_labels[0][port]
-        e3 = view.edge_labels[1][port]
-        need = ("ltail", "lhead")
-        if any(k not in e1 for k in need):
+        e1 = edge1[port]
+        k1 = id(e1)
+        t1 = m_e1.get(k1)
+        if t1 is None:
+            t1 = m_e1[k1] = _e1_nest_fields(e1)
+        ltail, lhead = t1
+        if ltail is _MISSING or lhead is _MISSING:
             return False
-        if any(k not in e3 for k in ("name_t", "name_h", "succ")):
+        e3 = edge3[port]
+        k3 = id(e3)
+        t3 = m_e3.get(k3)
+        if t3 is None:
+            t3 = m_e3[k3] = _e3_nest_fields(e3)
+        name_t, name_h, succ = t3
+        if name_t is _MISSING or name_h is _MISSING or succ is _MISSING:
             return False
-        name = (e3["name_t"] << w) | e3["name_h"]
-        succ = e3["succ"]
+        name = (name_t << w) | name_h
         # own coin must appear on the right side of the name
-        if kind == OUT and e3["name_t"] != own_name:
+        if kind == OUT and name_t != own_name:
             return False
-        if kind == IN and e3["name_h"] != own_name:
+        if kind == IN and name_h != own_name:
             return False
-        entry = (name, succ, bool(e1["ltail"]), bool(e1["lhead"]))
+        entry = (name, succ, bool(ltail), bool(lhead))
         (rights if kind == OUT else lefts).append(entry)
 
     # endpoints of the path cannot have edges beyond them
@@ -736,7 +926,7 @@ def _check_nesting(  # noqa: C901
     if left_port is None and lefts:
         return False
     # the advertised has_left / has_right bits must be truthful
-    if own_nest["has_left"] != bool(lefts) or own_nest["has_right"] != bool(rights):
+    if own_has_left != bool(lefts) or own_has_right != bool(rights):
         return False
     # exactly one longest mark per side; unmarked edges marked on the other end
     if rights:
@@ -795,10 +985,10 @@ def _check_nesting(  # noqa: C901
         if not chain_ok(rights, above_of(right_port), 0):
             return False
     elif right_port is not None:
-        u_nest = nest_of(right_port)
-        if u_nest is None or "has_left" not in u_nest:
+        u_info = nest_of(right_port)
+        if u_info is None or u_info[1] is _MISSING:
             return False
-        if not u_nest["has_left"]:
+        if not u_info[1]:
             if above_of(right_port) == "missing" or above_of(right_port) != own_above:
                 return False
     # left-side consistency (condition 5): the chain of left edges starts

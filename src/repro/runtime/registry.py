@@ -313,7 +313,7 @@ _register(
 
 
 #: historical CLI spellings -> registry names
-_ALIASES = {"treewidth_2": "treewidth2", "series_parallel": "series_parallel"}
+_ALIASES = {"treewidth_2": "treewidth2"}
 
 
 def canonical_name(name: str) -> str:

@@ -328,6 +328,35 @@ def _execute_runs(spec: _BatchSpec, indices: Sequence[int]) -> Tuple[List[RunRec
     return records, stats_delta
 
 
+#: the batch spec installed in each worker process by the pool initializer.
+#: Shipping the spec once per *worker* (instead of pickling it into every
+#: shard submission) keeps shard messages down to a list of run indices —
+#: the fix for the parallel path previously running slower than serial.
+_WORKER_SPEC: Optional[_BatchSpec] = None
+
+
+def _init_worker(spec: _BatchSpec) -> None:
+    """ProcessPoolExecutor initializer: unpickle the spec once per worker."""
+    global _WORKER_SPEC
+    _WORKER_SPEC = spec
+
+
+def _execute_shard(indices: Sequence[int]) -> Tuple[List[RunRecord], Optional[Dict[str, int]]]:
+    """Worker-side shard entry point: indices in, records out."""
+    spec = _WORKER_SPEC
+    if spec is None:  # pragma: no cover - the initializer always ran first
+        raise RuntimeError("worker received a shard before its initializer ran")
+    return _execute_runs(spec, indices)
+
+
+def _usable_cores() -> int:
+    """CPU cores this process may actually schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 class BatchRunner:
     """Shard a batch of protocol runs across worker processes.
 
@@ -382,13 +411,27 @@ class BatchRunner:
         fault_plan: Optional[Any] = None,
         trace: bool = False,
         journal: Optional[Any] = None,
+        min_runs_per_shard: Optional[int] = None,
     ):
         from .resilience import FAILURE_POLICIES
 
+        if isinstance(protocol, type):
+            # accept a protocol *class* (a common slip when wiring specs) by
+            # instantiating it with defaults, rather than crashing four
+            # frames deep inside execute()
+            protocol = protocol()
+        if not callable(getattr(protocol, "execute", None)):
+            raise TypeError(
+                "protocol must be a DIPProtocol instance (or a protocol "
+                f"class constructible with no arguments); got {protocol!r} "
+                "with no execute() method"
+            )
         if workers < 0:
             raise ValueError("workers must be >= 0")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if min_runs_per_shard is not None and min_runs_per_shard < 1:
+            raise ValueError("min_runs_per_shard must be >= 1")
         if failure_policy not in FAILURE_POLICIES:
             raise ValueError(
                 f"failure_policy must be one of {FAILURE_POLICIES}, "
@@ -413,6 +456,12 @@ class BatchRunner:
         self.fault_plan = fault_plan
         self.journal = journal
         self.trace = trace or journal is not None
+        #: when set, batches too small to amortize process spawn cost (or
+        #: boxes with a single usable core) silently run serially; the
+        #: report notes the decision in ``meta["auto_serial"]``.  Default
+        #: None = never second-guess the caller (tests that *need* the pool
+        #: path, e.g. worker-crash injection, rely on that).
+        self.min_runs_per_shard = min_runs_per_shard
 
     @property
     def _resilient(self) -> bool:
@@ -439,6 +488,7 @@ class BatchRunner:
         )
         t0 = time.perf_counter()
         failures: List[Any] = []
+        auto_serial: Optional[str] = None
         if self._resilient:
             from .resilience import run_resilient
 
@@ -456,7 +506,11 @@ class BatchRunner:
         elif self.workers == 0:
             records, cache_stats = _execute_runs(spec, range(n_runs))
         else:
-            records, cache_stats = self._run_parallel(spec, n_runs)
+            auto_serial = self._auto_serial_reason(n_runs)
+            if auto_serial is not None:
+                records, cache_stats = _execute_runs(spec, range(n_runs))
+            else:
+                records, cache_stats = self._run_parallel(spec, n_runs)
         records.sort(key=lambda r: r.index)
         report = BatchReport(
             protocol_name=getattr(self.protocol, "name", type(self.protocol).__name__),
@@ -470,6 +524,11 @@ class BatchRunner:
             failures=failures,
             failure_policy=self.failure_policy,
         )
+        if auto_serial is not None:
+            # determinism makes this purely an execution note: the records
+            # are identical either way, so it lives in meta, not the
+            # canonical payload, and ``workers`` keeps the configured value
+            report.meta["auto_serial"] = auto_serial
         if obs_metrics.enabled():
             obs_metrics.inc(
                 "repro_runs_total", len(records),
@@ -486,6 +545,28 @@ class BatchRunner:
             self.journal.record_batch(report)
         return report
 
+    def _auto_serial_reason(self, n_runs: int) -> Optional[str]:
+        """Why this batch should run serially despite ``workers > 0``.
+
+        Returns None (use the pool) unless ``min_runs_per_shard`` is set
+        and the batch is too small — or the box too narrow — for process
+        parallelism to pay for its spawn-and-pickle overhead.  Only the
+        strict path is eligible: the resilient engine owns its own pool
+        (it needs one even for tiny batches, to survive worker loss).
+        """
+        if self.min_runs_per_shard is None or self._resilient:
+            return None
+        if n_runs < self.min_runs_per_shard * self.workers:
+            return (
+                f"n_runs={n_runs} < min_runs_per_shard="
+                f"{self.min_runs_per_shard} x workers={self.workers}; "
+                "spawn cost would dominate, ran serially"
+            )
+        cores = _usable_cores()
+        if cores <= 1:
+            return f"{cores} usable core(s); worker processes cannot overlap"
+        return None
+
     def _run_parallel(
         self, spec: _BatchSpec, n_runs: int
     ) -> Tuple[List[RunRecord], Optional[Dict[str, int]]]:
@@ -496,8 +577,12 @@ class BatchRunner:
         ]
         records: List[RunRecord] = []
         cache_stats: Optional[Dict[str, int]] = None
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = [pool.submit(_execute_runs, spec, shard) for shard in shards]
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=(spec,),
+        ) as pool:
+            futures = [pool.submit(_execute_shard, shard) for shard in shards]
             try:
                 done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
                 first_exc = None
