@@ -1,11 +1,18 @@
-"""E12: decide-phase hot path — before/after the shared decode cache.
+"""E12/E13: decide-phase hot path — decode caches, then packed labels.
 
 Times every registered task at n in {64, 128, 256} with the honest
 prover (yes-instances, ``workers=0``, seed 0) and records ms/run against
-the pre-optimisation baseline captured at the seed commit of this
-change (same machine class, same seeds, same run counts).  The headline
-target is path_outerplanarity at n=128: >= 2.5x over its captured
-baseline of 54.53 ms/run.
+two references: the pre-optimisation baseline captured at the seed
+commit (``baseline_ms_per_run``) and the PR-5 decode-cache numbers
+captured just before the packed wire format landed (``pr5_ms_per_run``).
+Headline targets: path_outerplanarity at n=128 >= 2.5x over its seed
+baseline of 54.53 ms/run, and at least one task at n=128 >= 3x over its
+seed baseline (E13).
+
+A serialization section records the pickled size of one honest
+transcript per representative task, packed vs. the
+``REPRO_DISABLE_PACKED_LABELS=1`` object-tree hatch — the measured
+shard-transport byte drop of the packed representation.
 
 Methodology: each (task, n) cell is measured as the *minimum* over
 several short bursts with cooldown pauses.  The reference box is a
@@ -27,12 +34,14 @@ path ended up slower than serial.
 
 import json
 import os
+import pickle
 import platform
 import time
 from pathlib import Path
 
 from repro.runtime import BatchRunner, get_task
 from repro.runtime.runner import _usable_cores
+from repro.runtime.seeds import SeedSequence
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 SEED = 0
@@ -54,8 +63,23 @@ BASELINE_MS = {
     "treewidth2": {64: 33.92, 128: 71.17, 256: 144.02},
 }
 
+#: ms/run recorded by this harness at the PR-5 commit (decode caches in,
+#: packed labels not yet) — the "all seven tasks improved" reference
+PR5_MS = {
+    "lr_sorting": {64: 4.46, 128: 9.07, 256: 20.3},
+    "outerplanarity": {64: 20.09, 128: 37.51, 256: 85.31},
+    "path_outerplanarity": {64: 10.22, 128: 20.22, 256: 45.21},
+    "planar_embedding": {64: 27.22, 128: 58.6, 256: 131.23},
+    "planarity": {64: 26.49, 128: 56.17, 256: 133.52},
+    "series_parallel": {64: 21.99, 128: 45.05, 256: 109.14},
+    "treewidth2": {64: 23.37, 128: 44.82, 256: 111.17},
+}
+
 HEADLINE_TASK, HEADLINE_N = "path_outerplanarity", 128
 HEADLINE_TARGET = 2.5
+#: E13: at least one task at n=128 must clear this factor over its seed
+#: baseline now that labels live in packed form
+PACKED_TARGET = 3.0
 
 
 def _burst_ms(spec, n: int, runs: int) -> float:
@@ -78,20 +102,57 @@ def _measure(spec, n: int, runs: int, bursts: int, target_ms=None) -> float:
     return best
 
 
+def _serialization_section(n: int):
+    """Pickled transcript bytes, packed vs. the object-tree hatch."""
+    out = {}
+    for task in ("lr_sorting", "path_outerplanarity"):
+        spec = get_task(task)
+        run_ss = SeedSequence(SEED).child(0)
+        factory = spec.yes_factory
+        if hasattr(factory, "build_seeded"):
+            inst = factory.build_seeded(n, run_ss.child("instance").seed_int())
+        else:
+            inst = factory(n, run_ss.child("instance").rng())
+        result = spec.protocol(c=2).execute(
+            inst, rng=run_ss.child("protocol").rng()
+        )
+        transcript = result.transcript
+        saved = os.environ.pop("REPRO_DISABLE_PACKED_LABELS", None)
+        try:
+            packed = len(pickle.dumps(transcript))
+            os.environ["REPRO_DISABLE_PACKED_LABELS"] = "1"
+            tree = len(pickle.dumps(transcript))
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_DISABLE_PACKED_LABELS", None)
+            else:
+                os.environ["REPRO_DISABLE_PACKED_LABELS"] = saved
+        assert packed < tree, (task, packed, tree)
+        out[task] = {
+            "n": n,
+            "packed_pickle_bytes": packed,
+            "tree_pickle_bytes": tree,
+            "reduction_factor": round(tree / packed, 2),
+        }
+    return out
+
+
 def test_hotpath_speedup():
     runs_per_n = QUICK_RUNS if QUICK else RUNS
-    bursts = 1 if QUICK else 4
+    bursts = 1 if QUICK else 6
     after = {}
     for task in sorted(BASELINE_MS):
         spec = get_task(task)
         after[task] = {}
         for n, runs in runs_per_n.items():
-            target = None
+            # early-exit once a burst beats the PR-5 recording: the box
+            # throttles, so the first cool burst is the signal
+            target = PR5_MS.get(task, {}).get(n) if not QUICK else None
             if not QUICK and task == HEADLINE_TASK and n == HEADLINE_N:
-                target = BASELINE_MS[task][n] / HEADLINE_TARGET
+                target = min(target, BASELINE_MS[task][n] / HEADLINE_TARGET)
                 ms = _measure(spec, n, runs, bursts=8, target_ms=target)
             else:
-                ms = _measure(spec, n, runs, bursts)
+                ms = _measure(spec, n, runs, bursts, target_ms=target)
             after[task][n] = round(ms, 2)
 
     speedup = {
@@ -99,6 +160,14 @@ def test_hotpath_speedup():
             n: round(BASELINE_MS[task][n] / ms, 2)
             for n, ms in per_n.items()
             if n in BASELINE_MS[task]
+        }
+        for task, per_n in after.items()
+    }
+    speedup_pr5 = {
+        task: {
+            n: round(PR5_MS[task][n] / ms, 2)
+            for n, ms in per_n.items()
+            if n in PR5_MS.get(task, {})
         }
         for task, per_n in after.items()
     }
@@ -137,8 +206,8 @@ def test_hotpath_speedup():
 
     payload = {
         "experiment": (
-            "decide-phase hot path: shared decode caches + precomputed "
-            "views + trusted label construction, all tasks, honest prover"
+            "decide-phase hot path: packed byte-label wire format + shared "
+            "decode caches + precomputed views, all tasks, honest prover"
         ),
         "mode": "quick" if QUICK else "full",
         "methodology": (
@@ -158,25 +227,37 @@ def test_hotpath_speedup():
         "baseline_ms_per_run": {
             t: {str(n): v for n, v in d.items()} for t, d in BASELINE_MS.items()
         },
+        "pr5_ms_per_run": {
+            t: {str(n): v for n, v in d.items()} for t, d in PR5_MS.items()
+        },
         "after_ms_per_run": {
             t: {str(n): v for n, v in d.items()} for t, d in after.items()
         },
         "speedup_vs_baseline": {
             t: {str(n): v for n, v in d.items()} for t, d in speedup.items()
         },
+        "speedup_vs_pr5": {
+            t: {str(n): v for n, v in d.items()} for t, d in speedup_pr5.items()
+        },
         "headline": {
             "task": HEADLINE_TASK,
             "n": HEADLINE_N,
             "target_speedup": HEADLINE_TARGET,
+            "packed_target_speedup": PACKED_TARGET,
         },
+        "serialization": _serialization_section(64 if QUICK else HEADLINE_N),
         "parallel": parallel,
     }
     if not QUICK:
         h_ms = after[HEADLINE_TASK][HEADLINE_N]
         h_speedup = speedup[HEADLINE_TASK][HEADLINE_N]
+        best_task, best_speedup = max(
+            ((t, speedup[t][HEADLINE_N]) for t in speedup), key=lambda kv: kv[1]
+        )
         payload["headline"].update(
             {"baseline_ms": BASELINE_MS[HEADLINE_TASK][HEADLINE_N],
-             "after_ms": h_ms, "speedup": h_speedup}
+             "after_ms": h_ms, "speedup": h_speedup,
+             "packed_best_task": best_task, "packed_best_speedup": best_speedup}
         )
     OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {OUT_PATH}")
@@ -185,4 +266,8 @@ def test_hotpath_speedup():
             f"{HEADLINE_TASK} n={HEADLINE_N}: {h_ms} ms/run is only "
             f"{h_speedup}x over the {BASELINE_MS[HEADLINE_TASK][HEADLINE_N]} "
             f"ms/run baseline (target {HEADLINE_TARGET}x)"
+        )
+        assert best_speedup >= PACKED_TARGET, (
+            f"no task at n={HEADLINE_N} reached {PACKED_TARGET}x over its "
+            f"seed baseline (best: {best_task} at {best_speedup}x)"
         )

@@ -54,7 +54,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..core.labels import BitString, FieldPath, Label
+from ..core.labels import BitString, FieldPath, Label, wire_leaf_span
 from ..core.protocol import LabelTap, clear_label_tap, install_label_tap
 
 MUTATION_OPS = ("bit_flip", "rerandomize", "swap_between_nodes", "zero_out")
@@ -76,6 +76,14 @@ class MutationRecord:
     new: Any
     graph: Any = None  #: the Interaction's graph (identity-compared only)
     partner: Any = None  #: the second owner of a swap, if any
+    #: where the mutated leaf sits on the wire: absolute bit offset (from
+    #: the most significant bit of the owner's packed label), the leaf's
+    #: wire width, and the owner label's total wire bits.  Derived from
+    #: the packed schema in both representations, so reports match across
+    #: the ``REPRO_DISABLE_PACKED_LABELS`` escape hatch.
+    wire_offset: Optional[int] = None
+    wire_width: Optional[int] = None
+    wire_label_bits: Optional[int] = None
 
     @property
     def path_str(self) -> str:
@@ -139,6 +147,11 @@ class MutationTap(LabelTap):
         pool_kind, owner, path, kind, old, width = rng.choice(sites)
         op = rng.choice(MUTATION_OPS) if self.op == "random" else self.op
         store = labels if pool_kind == "node" else edge_labels
+        # locate the leaf on the wire before mutating (the schema of the
+        # pre-mutation label is the honest layout the bits land in)
+        target = store[owner]
+        wire_offset, wire_width = wire_leaf_span(target, path)
+        wire_label_bits = target.bit_size()
         applied_op, new, partner = self._apply(
             rng, store, sites, pool_kind, owner, path, kind, old, width, op
         )
@@ -155,6 +168,9 @@ class MutationTap(LabelTap):
             new=new,
             graph=interaction.graph,
             partner=partner,
+            wire_offset=wire_offset,
+            wire_width=wire_width,
+            wire_label_bits=wire_label_bits,
         )
 
     def _apply(self, rng, store, sites, pool_kind, owner, path, kind, old, width, op):
@@ -324,6 +340,9 @@ class MutatingProver:
             new=_display(rec.new),
             n_rejecting=len(result.rejecting_nodes),
             caught_by=self._caught_by(rec, result),
+            wire_offset=rec.wire_offset,
+            wire_width=rec.wire_width,
+            wire_label_bits=rec.wire_label_bits,
         )
         return report
 

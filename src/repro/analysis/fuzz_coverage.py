@@ -43,6 +43,10 @@ class FieldCoverage:
     rejected: int = 0
     caught: Dict[str, int] = field(default_factory=dict)
     ops: Dict[str, int] = field(default_factory=dict)
+    #: mutations per wire-position quartile of the owner label ("q1" =
+    #: the most significant quarter of the packed bits, ... "q4" = the
+    #: least significant); populated from the tap's wire_offset report
+    bit_buckets: Dict[str, int] = field(default_factory=dict)
 
     @property
     def rejection_rate(self) -> float:
@@ -59,6 +63,11 @@ class FieldCoverage:
         self.caught[caught_by] = self.caught.get(caught_by, 0) + 1
         op = extra["applied_op"]
         self.ops[op] = self.ops.get(op, 0) + 1
+        offset = extra.get("wire_offset")
+        label_bits = extra.get("wire_label_bits")
+        if offset is not None and label_bits:
+            bucket = f"q{min(3, offset * 4 // label_bits) + 1}"
+            self.bit_buckets[bucket] = self.bit_buckets.get(bucket, 0) + 1
 
     def to_dict(self) -> Dict[str, Any]:
         lo, hi = self.wilson_95()
@@ -73,6 +82,7 @@ class FieldCoverage:
             "wilson_95": [lo, hi],
             "caught_by": {k: self.caught[k] for k in sorted(self.caught)},
             "ops": {k: self.ops[k] for k in sorted(self.ops)},
+            "bit_buckets": {k: self.bit_buckets[k] for k in sorted(self.bit_buckets)},
         }
 
 
@@ -106,6 +116,19 @@ class FuzzCoverageReport:
     def weak_fields(self, floor: float = 0.5) -> List[FieldCoverage]:
         """Fields whose measured rejection rate falls below ``floor``."""
         return [f for f in self.fields if f.rejection_rate < floor]
+
+    def bit_bucket_totals(self) -> Dict[str, int]:
+        """Mutations per wire-position quartile, summed over all fields.
+
+        An empty or heavily skewed histogram means the fuzzer is blind to
+        part of the wire image (the PR-2 gap this closes): every quartile
+        of every mutated label layout should eventually receive hits.
+        """
+        totals: Dict[str, int] = {}
+        for f in self.fields:
+            for bucket, count in f.bit_buckets.items():
+                totals[bucket] = totals.get(bucket, 0) + count
+        return {k: totals[k] for k in sorted(totals)}
 
     def to_dict(self) -> Dict[str, Any]:
         return {

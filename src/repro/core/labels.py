@@ -28,6 +28,7 @@ Absent labels cost zero bits.
 from __future__ import annotations
 
 import math
+import os
 from typing import Dict, Iterator, Optional, Tuple, Union
 
 FieldValue = Union[int, bool, "Label", "BitString", None]
@@ -92,11 +93,12 @@ class BitString:
 class Label:
     """An ordered, named collection of typed fields with exact bit size."""
 
-    __slots__ = ("_fields", "_size")
+    __slots__ = ("_fields", "_size", "_wire")
 
     def __init__(self):
         self._fields: Dict[str, tuple] = {}
         self._size = 0
+        self._wire: Optional[Tuple["LabelSchema", int]] = None
 
     # -- builders ---------------------------------------------------------
 
@@ -154,6 +156,7 @@ class Label:
             raise ValueError(f"duplicate label field {name!r}")
         self._fields[name] = field
         self._size += field[2]
+        self._wire = None
 
     @classmethod
     def _trusted(cls, fields: Dict[str, tuple], size: int) -> "Label":
@@ -163,6 +166,7 @@ class Label:
         out = cls.__new__(cls)
         out._fields = fields
         out._size = size
+        out._wire = None
         return out
 
     # -- readers ----------------------------------------------------------
@@ -252,12 +256,60 @@ class Label:
     def __eq__(self, other) -> bool:
         if not isinstance(other, Label):
             return NotImplemented
+        mine, theirs = self._wire, other._wire
+        if mine is not None and theirs is not None:
+            # canonical packing: interned schema identity + payload equality
+            # coincides with structural equality (pinned by the wire tests)
+            return mine[0] is theirs[0] and mine[1] == theirs[1]
+        if self._fields is None:
+            self._materialize()
+        if other._fields is None:
+            other._materialize()
         if list(self._fields) != list(other._fields):
             return False
         return self._fields == other._fields
 
     def __hash__(self) -> int:
         return hash(tuple((k,) + f for k, f in self._fields.items()))
+
+    # -- wire form ---------------------------------------------------------
+
+    def pack(self) -> Tuple["LabelSchema", int]:
+        """The label's packed wire form ``(schema, payload)``, cached.
+
+        ``schema`` is the interned :class:`LabelSchema` describing the
+        (names, kinds, widths) layout; ``payload`` is the label's bits as
+        one big-endian integer, first field in the most significant bits.
+        Packing is lazy and cached: honest in-process runs never pay for
+        it, while pickling, hex dumps, and byte-equality reuse one pass.
+        """
+        wire = self._wire
+        if wire is None:
+            wire = self._wire = _pack_fields(self._fields)
+        return wire
+
+    def wire_bytes(self) -> bytes:
+        """The packed payload as big-endian bytes (zero-padded to a byte)."""
+        schema, payload = self.pack()
+        return payload.to_bytes((schema.total_width + 7) // 8, "big")
+
+    def wire_hex(self) -> str:
+        """Hex dump of :meth:`wire_bytes` (empty string for 0-bit labels)."""
+        return self.wire_bytes().hex()
+
+    def wire_key(self) -> Tuple["LabelSchema", int]:
+        """A hashable interning key: equal iff the labels are equal."""
+        return self.pack()
+
+    def __reduce__(self):
+        if packed_labels_disabled():
+            # object-tree escape hatch: ship the field dict as-is
+            return (_label_from_tree, (self._fields, self._size))
+        schema, payload = self.pack()
+        return (
+            _label_from_wire,
+            (schema.desc, payload.to_bytes((schema.total_width + 7) // 8, "big")),
+        )
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={f[1]!r}" for k, f in self._fields.items())
@@ -304,6 +356,297 @@ def _replaced_field(name: str, old: tuple, value: FieldValue) -> tuple:
             raise ValueError(f"{name}: sub-label replacement must be a Label")
         return ("label", value, value.bit_size())
     raise ValueError(f"unknown field kind {kind!r}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# packed wire format
+# ---------------------------------------------------------------------------
+#
+# Every label has a canonical packed form ``(schema, payload)``:
+#
+# - the *schema* captures the layout -- field names, kinds, widths, and
+#   nested sub-label schemas -- as a pure data tuple (``desc``), interned
+#   process-wide so equal layouts share one schema object;
+# - the *payload* is the label's bits as a single big-endian integer,
+#   fields in insertion order, first field in the most significant bits,
+#   ``maybe`` fields as 1 presence bit followed by the value bits.
+#
+# Because both halves are canonical, ``(schema identity, payload)`` is a
+# faithful equality key: byte-equality coincides with structural Label
+# equality (``maybe`` fields holding a BitString get the distinct schema
+# kind ``maybe_b`` so the value type survives the round-trip).  Decoding is
+# pure offset arithmetic: a field's bits sit at a shift known from the
+# schema alone, which is what makes the zero-copy :class:`PackedLabel`
+# views below cheap.
+#
+# ``REPRO_DISABLE_PACKED_LABELS=1`` keeps labels crossing process
+# boundaries as plain object trees (the pre-wire-format behavior); the
+# differential suite pins canonical reports byte-identical either way.
+
+
+def packed_labels_disabled() -> bool:
+    """True when the ``REPRO_DISABLE_PACKED_LABELS`` escape hatch is set."""
+    return os.environ.get("REPRO_DISABLE_PACKED_LABELS", "") not in ("", "0")
+
+
+class LabelSchema:
+    """Interned layout descriptor for one packed label.
+
+    ``desc`` is the pure-data form: a tuple of
+    ``(name, kind, width, child_desc_or_None)`` entries, nested sub-labels
+    carrying their own desc.  ``fields`` resolves each entry to
+    ``(name, kind, width, child_schema_or_None, shift)`` where ``shift``
+    is the number of payload bits to the right of the field.
+    """
+
+    __slots__ = ("desc", "fields", "total_width")
+
+    def __init__(self, desc: tuple):
+        self.desc = desc
+        total = 0
+        for _, _, width, _ in desc:
+            total += width
+        self.total_width = total
+        fields = []
+        shift = total
+        for name, kind, width, child_desc in desc:
+            shift -= width
+            child = schema_from_desc(child_desc) if kind == "label" else None
+            fields.append((name, kind, width, child, shift))
+        self.fields = tuple(fields)
+
+    def __repr__(self) -> str:
+        names = ",".join(e[0] for e in self.desc)
+        return f"LabelSchema({names} | {self.total_width}b)"
+
+
+#: process-wide schema intern table: desc tuple -> the one LabelSchema
+_SCHEMAS: Dict[tuple, LabelSchema] = {}
+
+
+def schema_from_desc(desc: tuple) -> LabelSchema:
+    """The interned schema for ``desc`` (identity-stable per process)."""
+    schema = _SCHEMAS.get(desc)
+    if schema is None:
+        schema = _SCHEMAS[desc] = LabelSchema(desc)
+    return schema
+
+
+def _pack_fields(fields: Dict[str, tuple]) -> Tuple[LabelSchema, int]:
+    """Canonical (schema, payload) packing of a field dict (see above)."""
+    desc = []
+    acc = 0
+    for name, f in fields.items():
+        kind, value, width = f
+        if kind == "uint" or kind == "felem":
+            desc.append((name, kind, width, None))
+            acc = (acc << width) | value
+        elif kind == "label":
+            child_schema, child_payload = value.pack()
+            desc.append((name, "label", width, child_schema.desc))
+            acc = (acc << width) | child_payload
+        elif kind == "flag":
+            desc.append((name, "flag", 1, None))
+            acc = (acc << 1) | (1 if value else 0)
+        elif kind == "bits":
+            desc.append((name, "bits", width, None))
+            acc = (acc << width) | value.value
+        elif kind == "maybe":
+            if value is None:
+                desc.append((name, "maybe", width, None))
+                acc = acc << width  # presence bit(s) all zero
+            elif isinstance(value, BitString):
+                desc.append((name, "maybe_b", width, None))
+                acc = (acc << width) | (1 << (width - 1)) | value.value
+            else:
+                desc.append((name, "maybe", width, None))
+                acc = (acc << width) | (1 << (width - 1)) | value
+        else:  # pragma: no cover - _put only admits the kinds above
+            raise ValueError(f"cannot pack field kind {kind!r}")
+    return schema_from_desc(tuple(desc)), acc
+
+
+def _label_from_tree(fields: Dict[str, tuple], size: int) -> Label:
+    """Unpickle hook for the object-tree escape hatch."""
+    return Label._trusted(fields, size)
+
+
+def _label_from_wire(desc: tuple, data: bytes) -> "PackedLabel":
+    """Unpickle hook for the packed wire form."""
+    return PackedLabel._from_payload(schema_from_desc(desc), int.from_bytes(data, "big"))
+
+
+class PackedLabel(Label):
+    """A zero-copy decoded view over a packed label.
+
+    Holds the interned schema plus either the payload integer or a
+    ``(buffer, offset)`` slice of a shared round blob; the object-tree
+    field dict is materialized lazily, by offset slicing, only when a
+    reader actually descends into the structure.  Views are frozen: the
+    builder API raises (mutating a view would desync schema and payload);
+    :meth:`Label.with_value` still works and returns a plain label.
+    """
+
+    __slots__ = ("_schema", "_pv", "_buf", "_off")
+
+    @classmethod
+    def _from_payload(cls, schema: LabelSchema, payload: int) -> "PackedLabel":
+        self = cls.__new__(cls)
+        self._fields = None
+        self._size = schema.total_width
+        self._wire = (schema, payload)
+        self._schema = schema
+        self._pv = payload
+        self._buf = None
+        self._off = 0
+        return self
+
+    @classmethod
+    def from_buffer(cls, schema: LabelSchema, buf: bytes, offset: int) -> "PackedLabel":
+        """View into ``buf`` at byte ``offset`` (no bytes copied up front)."""
+        self = cls.__new__(cls)
+        self._fields = None
+        self._size = schema.total_width
+        self._wire = None
+        self._schema = schema
+        self._pv = None
+        self._buf = buf
+        self._off = offset
+        return self
+
+    # -- wire form ---------------------------------------------------------
+
+    def payload_int(self) -> int:
+        pv = self._pv
+        if pv is None:
+            end = self._off + (self._schema.total_width + 7) // 8
+            pv = self._pv = int.from_bytes(self._buf[self._off:end], "big")
+            self._wire = (self._schema, pv)
+        return pv
+
+    def pack(self) -> Tuple[LabelSchema, int]:
+        wire = self._wire
+        if wire is None:
+            wire = (self._schema, self.payload_int())
+        return wire
+
+    def __reduce__(self):
+        if packed_labels_disabled():
+            self._ensure()
+            return (_label_from_tree, (self._fields, self._size))
+        schema = self._schema
+        return (
+            _label_from_wire,
+            (schema.desc, self.payload_int().to_bytes((schema.total_width + 7) // 8, "big")),
+        )
+
+    # -- lazy decode -------------------------------------------------------
+
+    def _ensure(self) -> None:
+        if self._fields is None:
+            self._materialize()
+
+    def _materialize(self) -> None:
+        pv = self.payload_int()
+        fields: Dict[str, tuple] = {}
+        for name, kind, width, child, shift in self._schema.fields:
+            raw = (pv >> shift) & ((1 << width) - 1)
+            if kind == "uint" or kind == "felem":
+                fields[name] = (kind, raw, width)
+            elif kind == "label":
+                fields[name] = ("label", PackedLabel._from_payload(child, raw), width)
+            elif kind == "flag":
+                fields[name] = ("flag", raw == 1, 1)
+            elif kind == "bits":
+                fields[name] = ("bits", BitString(raw, width), width)
+            elif kind == "maybe":
+                if raw >> (width - 1):
+                    fields[name] = ("maybe", raw & ((1 << (width - 1)) - 1), width)
+                else:
+                    fields[name] = ("maybe", None, width)
+            else:  # maybe_b: an optional BitString value
+                fields[name] = ("maybe", BitString(raw & ((1 << (width - 1)) - 1), width - 1), width)
+        self._fields = fields
+
+    # -- frozen builders ---------------------------------------------------
+
+    def _put(self, name: str, field: tuple) -> None:
+        raise TypeError("packed label views are frozen; build a new Label instead")
+
+    # -- readers (materialize on demand) -----------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        self._ensure()
+        return name in self._fields
+
+    def __getitem__(self, name: str) -> FieldValue:
+        self._ensure()
+        return Label.__getitem__(self, name)
+
+    def get(self, name: str, default: FieldValue = None) -> FieldValue:
+        self._ensure()
+        return Label.get(self, name, default)
+
+    def names(self) -> Iterator[str]:
+        return iter(e[0] for e in self._schema.desc)
+
+    def fields(self) -> Iterator[Tuple[str, str, FieldValue, int]]:
+        self._ensure()
+        return Label.fields(self)
+
+    def walk(self, prefix: FieldPath = ()) -> Iterator[Tuple[FieldPath, str, FieldValue, int]]:
+        self._ensure()
+        return Label.walk(self, prefix)
+
+    def with_value(self, path: FieldPath, value: FieldValue) -> Label:
+        self._ensure()
+        return Label.with_value(self, path, value)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, PackedLabel):
+            return self._schema is other._schema and self.payload_int() == other.payload_int()
+        if isinstance(other, Label):
+            wire = other._wire
+            if wire is not None:
+                return wire[0] is self._schema and wire[1] == self.payload_int()
+            self._ensure()
+            return Label.__eq__(self, other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        self._ensure()
+        return Label.__hash__(self)
+
+    def __repr__(self) -> str:
+        self._ensure()
+        return Label.__repr__(self)
+
+
+def wire_leaf_span(label: Label, path: FieldPath) -> Tuple[int, int]:
+    """``(bit_offset, width)`` of the leaf at ``path`` in the packed form.
+
+    The offset counts from the most significant bit of the label's wire
+    image (bit 0 is the first bit on the wire); for ``maybe`` leaves the
+    span covers the presence bit plus the value bits.  This is how the
+    mutation engine reports *where on the wire* a fuzzed field lives.
+    """
+    schema, _ = label.pack()
+    offset = 0
+    for depth, name in enumerate(path):
+        total = schema.total_width
+        for fname, kind, width, child, shift in schema.fields:
+            if fname != name:
+                continue
+            offset += total - shift - width
+            if depth == len(path) - 1:
+                return offset, width
+            if kind != "label":
+                raise KeyError(f"field {name!r} is a leaf; cannot descend")
+            schema = child
+            break
+        else:
+            raise KeyError(f"label has no field {name!r}")
+    raise ValueError("empty field path")
 
 
 EMPTY_LABEL = Label()

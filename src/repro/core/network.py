@@ -13,7 +13,7 @@ global ids, matching the anonymous-network model of Kol, Oshman and Saxena.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 Edge = Tuple[int, int]
 
@@ -26,7 +26,7 @@ def norm_edge(u: int, v: int) -> Edge:
 class Graph:
     """A simple undirected graph on nodes ``0..n-1``."""
 
-    __slots__ = ("n", "_adj", "_m", "_nbrs")
+    __slots__ = ("n", "_adj", "_m", "_nbrs", "_edges", "_eset")
 
     def __init__(self, n: int, edges: Iterable[Edge] = ()):
         if n < 0:
@@ -37,6 +37,11 @@ class Graph:
         #: memoized sorted-neighbor tuples (None until first query after a
         #: mutation); adjacency reads dominate several hot loops
         self._nbrs: Optional[List[Tuple[int, ...]]] = None
+        #: memoized canonical edge tuple / frozenset, invalidated like _nbrs
+        #: (the composite protocols enumerate edges tens of thousands of
+        #: times per run)
+        self._edges: Optional[Tuple[Edge, ...]] = None
+        self._eset: Optional[FrozenSet[Edge]] = None
         for u, v in edges:
             self.add_edge(u, v)
 
@@ -52,6 +57,8 @@ class Graph:
             self._adj[v].add(u)
             self._m += 1
             self._nbrs = None
+            self._edges = None
+            self._eset = None
 
     @classmethod
     def from_edge_list(cls, n: int, edges: Iterable[Edge]) -> "Graph":
@@ -81,6 +88,8 @@ class Graph:
         self._adj[v].discard(u)
         self._m -= 1
         self._nbrs = None
+        self._edges = None
+        self._eset = None
 
     def _check_node(self, v: int) -> None:
         if not 0 <= v < self.n:
@@ -112,15 +121,20 @@ class Graph:
     def has_edge(self, u: int, v: int) -> bool:
         return 0 <= u < self.n and v in self._adj[u]
 
-    def edges(self) -> Iterator[Edge]:
-        """All edges in canonical (u < v) form, sorted."""
-        for u in range(self.n):
-            for v in self.neighbors(u):
-                if u < v:
-                    yield (u, v)
+    def edges(self) -> Tuple[Edge, ...]:
+        """All edges in canonical (u < v) form, sorted (memoized)."""
+        edges = self._edges
+        if edges is None:
+            edges = self._edges = tuple(
+                (u, v) for u in range(self.n) for v in self.neighbors(u) if u < v
+            )
+        return edges
 
     def edge_set(self) -> FrozenSet[Edge]:
-        return frozenset(self.edges())
+        eset = self._eset
+        if eset is None:
+            eset = self._eset = frozenset(self.edges())
+        return eset
 
     def copy(self) -> "Graph":
         return Graph(self.n, self.edges())

@@ -19,7 +19,7 @@ import random
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Dict, Iterable, Optional
 
-from .labels import BitString, Label
+from .labels import EMPTY_LABEL, BitString, Label, packed_labels_disabled
 from .network import Graph
 from .transcript import RunResult, Transcript
 from .views import NodeView, build_views
@@ -31,10 +31,14 @@ class ProtocolError(Exception):
 
 def merge_labels(parts: Dict[str, Optional[Label]]) -> Label:
     """Merge per-stage labels into a single round label (named sub-labels)."""
-    out = Label()
+    fields = {}
+    size = 0
     for name, part in parts.items():
-        out.sub(name, part)
-    return out
+        sub = part if part is not None else EMPTY_LABEL
+        width = sub.bit_size()
+        fields[name] = ("label", sub, width)
+        size += width
+    return Label._trusted(fields, size)
 
 
 # ---------------------------------------------------------------------------
@@ -296,6 +300,14 @@ class Interaction:
                 raise ProtocolError(f"prover sent a non-Label to edge ({u}, {v})")
             canonical[(u, v) if u <= v else (v, u)] = label
         if _LABEL_TAP is not None:
+            if not packed_labels_disabled():
+                # seal the round to its wire form first: the tap then
+                # fuzzes genuinely packed leaves (a bit flip lands on a
+                # known wire offset, reported from the sealed schemas)
+                for lbl in labels.values():
+                    lbl.pack()
+                for lbl in canonical.values():
+                    lbl.pack()
             _LABEL_TAP.on_prover_round(
                 self, len(self.transcript.prover_rounds()), labels, canonical
             )

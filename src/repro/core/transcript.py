@@ -12,7 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from .labels import EMPTY_LABEL, BitString, Label
+from .labels import (
+    EMPTY_LABEL,
+    BitString,
+    Label,
+    PackedLabel,
+    packed_labels_disabled,
+    schema_from_desc,
+)
 
 VERIFIER = "verifier"
 PROVER = "prover"
@@ -60,6 +67,76 @@ class ProverRound:
         node_max = max((l.bit_size() for l in self.labels.values()), default=0)
         edge_max = max((l.bit_size() for l in self.edge_labels.values()), default=0)
         return max(node_max, edge_max)
+
+    # -- wire form --------------------------------------------------------
+
+    def wire_size_bytes(self) -> int:
+        """Bytes this round occupies on the wire (sum of packed payloads)."""
+        total = 0
+        for lbl in self.labels.values():
+            total += (lbl.pack()[0].total_width + 7) // 8
+        for lbl in self.edge_labels.values():
+            total += (lbl.pack()[0].total_width + 7) // 8
+        return total
+
+    def wire_hex(self) -> str:
+        """Deterministic hex dump of the round (golden-fixture format)."""
+        parts = [f"{v}:{self.labels[v].wire_hex()}" for v in sorted(self.labels)]
+        parts += [
+            f"{u}-{v}:{self.edge_labels[u, v].wire_hex()}"
+            for u, v in sorted(self.edge_labels)
+        ]
+        return "|".join(parts)
+
+    def __getstate__(self):
+        # Ship labels as packed buffers: one schema table, one contiguous
+        # payload blob, and per-label (owner, schema index, byte offset)
+        # entries.  Unpickling rebuilds lazy zero-copy PackedLabel views,
+        # so a label crossing a process boundary costs bytes, not a
+        # pickled object graph.  The escape hatch preserves the
+        # object-tree pickle path.
+        if packed_labels_disabled():
+            return {
+                "labels": self.labels,
+                "edge_labels": self.edge_labels,
+                "kind": self.kind,
+            }
+        descs: list = []
+        index: Dict[int, int] = {}
+        blob = bytearray()
+
+        def seal(store):
+            entries = []
+            for key, lbl in store.items():
+                schema, payload = lbl.pack()
+                idx = index.get(id(schema))
+                if idx is None:
+                    idx = index[id(schema)] = len(descs)
+                    descs.append(schema.desc)
+                entries.append((key, idx, len(blob)))
+                blob.extend(payload.to_bytes((schema.total_width + 7) // 8, "big"))
+            return entries
+
+        nodes = seal(self.labels)
+        edges = seal(self.edge_labels)
+        return {"kind": self.kind, "wire": (tuple(descs), nodes, edges, bytes(blob))}
+
+    def __setstate__(self, state):
+        wire = state.get("wire")
+        if wire is None:
+            self.labels = state["labels"]
+            self.edge_labels = state["edge_labels"]
+            self.kind = state["kind"]
+            return
+        descs, nodes, edges, blob = wire
+        schemas = [schema_from_desc(d) for d in descs]
+        self.labels = {
+            v: PackedLabel.from_buffer(schemas[i], blob, off) for v, i, off in nodes
+        }
+        self.edge_labels = {
+            e: PackedLabel.from_buffer(schemas[i], blob, off) for e, i, off in edges
+        }
+        self.kind = state["kind"]
 
 
 @dataclass
@@ -111,6 +188,14 @@ class Transcript:
     def max_total_bits(self, n: int) -> int:
         """Max over nodes of total prover bits received."""
         return max((self.total_bits_at(v) for v in range(n)), default=0)
+
+    def wire_size_bytes(self) -> int:
+        """Bytes all prover rounds occupy on the wire when packed."""
+        return sum(r.wire_size_bytes() for r in self.prover_rounds())
+
+    def wire_hex(self) -> List[str]:
+        """Per-prover-round hex dumps (the golden-fixture format)."""
+        return [r.wire_hex() for r in self.prover_rounds()]
 
     def coin_bits_at(self, v: int) -> int:
         """Total random bits drawn by node ``v``."""

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
-from .labels import BitString, Label
+from .labels import EMPTY_LABEL, BitString, Label
 from .network import Graph
 from .transcript import Transcript
 
@@ -80,23 +80,57 @@ def build_views(
     verifier_rounds = transcript.verifier_rounds()
     no_input: Dict[str, Any] = {}
 
+    # Hoist everything per-round out of the node loop: one flat label row
+    # per prover round (so neighbor reads are list indexing, not dict
+    # lookups through rnd.label), the coin dicts, and the edge-label
+    # stores.  Views are read-only by contract (checkers never mutate
+    # them), so the all-empty edge rows and the per-source shared-input
+    # copies are built once and shared across views.
+    n = graph.n
+    coin_rows = [rnd.coins for rnd in verifier_rounds]
+    label_rows = [
+        [rnd.labels.get(v, EMPTY_LABEL) for v in range(n)] for rnd in prover_rounds
+    ]
+    edge_stores = [rnd.edge_labels for rnd in prover_rounds]
+    empty_edge_row: Dict[int, List[Label]] = {}
+    shared_copies: Dict[int, Dict[str, Any]] = {}
+
     views: Dict[int, NodeView] = {}
     for v in graph.nodes():
         nbrs = graph.neighbors(v)
+        deg = len(nbrs)
+        edge_labels = []
+        for store in edge_stores:
+            if store:
+                edge_labels.append(
+                    [
+                        store.get((v, u) if v <= u else (u, v), EMPTY_LABEL)
+                        for u in nbrs
+                    ]
+                )
+            else:
+                row = empty_edge_row.get(deg)
+                if row is None:
+                    row = empty_edge_row[deg] = [EMPTY_LABEL] * deg
+                edge_labels.append(row)
         inp = inputs.get(v)
         view = NodeView(
-            degree=len(nbrs),
+            degree=deg,
             input=dict(inp) if inp else {},
-            coins=[rnd.coins.get(v, _NO_COINS) for rnd in verifier_rounds],
-            own_labels=[rnd.label(v) for rnd in prover_rounds],
-            neighbor_labels=[[rnd.label(u) for u in nbrs] for rnd in prover_rounds],
-            edge_labels=[
-                [rnd.edge_label(v, u) for u in nbrs] for rnd in prover_rounds
-            ],
+            coins=[coins.get(v, _NO_COINS) for coins in coin_rows],
+            own_labels=[row[v] for row in label_rows],
+            neighbor_labels=[[row[u] for u in nbrs] for row in label_rows],
+            edge_labels=edge_labels,
         )
         if shared_inputs:
-            view.neighbor_inputs = [dict(shared_inputs.get(u, no_input)) for u in nbrs]
+            nbr_inputs = []
+            for u in nbrs:
+                copy = shared_copies.get(u)
+                if copy is None:
+                    copy = shared_copies[u] = dict(shared_inputs.get(u, no_input))
+                nbr_inputs.append(copy)
+            view.neighbor_inputs = nbr_inputs
         else:
-            view.neighbor_inputs = [no_input] * len(nbrs)
+            view.neighbor_inputs = [no_input] * deg
         views[v] = view
     return views

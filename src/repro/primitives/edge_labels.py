@@ -52,10 +52,13 @@ class EdgeLabelSimulation:
             key = tuple(map(id, subs))
             lbl = interned.get(key)
             if lbl is None:
-                lbl = Label()
-                for i, sub in enumerate(subs):
-                    lbl.sub(f"forest{i}", sub)
-                interned[key] = lbl
+                fields = {
+                    f"forest{i}": ("label", sub, sub.bit_size())
+                    for i, sub in enumerate(subs)
+                }
+                lbl = interned[key] = Label._trusted(
+                    fields, sum(f[2] for f in fields.values())
+                )
             out[v] = lbl
         return out
 
@@ -66,7 +69,7 @@ class EdgeLabelSimulation:
         out: Dict[int, Label] = {v: Label() for v in self.graph.nodes()}
         for e, lbl in edge_labels.items():
             fi, child = self.assignment[norm_edge(*e)]
-            out[child].sub(f"edge{fi}", lbl)
+            out[child]._put(f"edge{fi}", ("label", lbl, lbl.bit_size()))
         return out
 
     # -- verifier side -----------------------------------------------------

@@ -472,12 +472,20 @@ class PathOuterplanarityProtocol(DIPProtocol):
                     emitted_setup[0] = True
                 merged = {}
                 for v in g.nodes():
-                    lbl = Label()
-                    lbl.sub("node", node_labels.get(v))
-                    lbl.sub("edges", folded.get(v))
+                    node = node_labels.get(v)
+                    if node is None:
+                        node = EMPTY_LABEL
+                    edges = folded[v]
+                    fields = {
+                        "node": ("label", node, node._size),
+                        "edges": ("label", edges, edges._size),
+                    }
+                    size = node._size + edges._size
                     if setup is not None:
-                        lbl.sub("forests", setup[v])
-                    merged[v] = lbl
+                        forests = setup[v]
+                        fields["forests"] = ("label", forests, forests._size)
+                        size += forests._size
+                    merged[v] = Label._trusted(fields, size)
                 node_labels = merged
             interaction.prover_round(node_labels, edge_labels)
 

@@ -179,3 +179,32 @@ def test_fuzz_coverage_report_shape():
         assert sum(row["caught_by"].values()) == row["trials"]
     table = report.format_table()
     assert "field path" in table and "honest control" in table
+
+
+@pytest.mark.parametrize(
+    "task,floor",
+    [("lr_sorting", 0.95), ("path_outerplanarity", 0.89)],
+)
+def test_coverage_does_not_regress(task, floor):
+    """Pin the measured checker coverage against its recorded baseline.
+
+    The floors are the PR-6 baselines (deterministic in the seed): a run
+    below one means a checker got looser or the mutation engine stopped
+    reaching part of the wire image.
+    """
+    report = fuzz_coverage(task, n=48, trials=20, seed=2025)
+    assert report.honest_ok
+    assert report.overall_rejection_rate >= floor, report.format_table()
+
+
+def test_coverage_bit_buckets_span_the_wire():
+    """Mutations land in every wire-position quartile, and the matrix
+    exports the histogram (the PR-2 packed-leaf blind spot stays closed)."""
+    report = fuzz_coverage("lr_sorting", n=48, trials=20, seed=2025)
+    totals = report.bit_bucket_totals()
+    assert set(totals) == {"q1", "q2", "q3", "q4"}, totals
+    assert sum(totals.values()) == report.mutated_runs
+    payload = report.to_dict()
+    per_field = [row["bit_buckets"] for row in payload["fields"]]
+    assert any(per_field), "bit_buckets missing from the exported matrix"
+    assert sum(c for b in per_field for c in b.values()) == report.mutated_runs

@@ -1,0 +1,154 @@
+"""Differential harness: packed wire labels vs. the object-tree path.
+
+``REPRO_DISABLE_PACKED_LABELS=1`` is the tentpole's escape hatch — it
+reverts pickling and shard transport to the pre-packing object-tree
+representation.  These tests pin the two representations *observationally
+identical* for every registered task: canonical batch reports (which
+cover acceptance, proof-size bits, and rejection counts per run) must be
+byte-identical, fuzz adversaries must mutate the same fields with the
+same outcomes and the same reported wire offsets, and the cross of
+{packed, tree} x {decode cache on, off} x {serial, 2 workers} must
+collapse to a single canonical report.
+
+The worker legs matter most: shard results cross a process boundary, so
+they exercise the packed ``ProverRound`` blob transport end to end.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.labels import packed_labels_disabled
+from repro.runtime.registry import FUZZ_ROUNDS, get_task, task_names
+from repro.runtime.runner import BatchRunner
+
+ALL_TASKS = sorted(task_names())
+FUZZ_ADVERSARIES = [f"fuzz_r{r}" for r in FUZZ_ROUNDS]
+
+#: the extra keys a mutation report must agree on across representations
+#: (the rest of ``extra`` is timing/bookkeeping outside the invariant)
+MUTATION_KEYS = (
+    "mutated", "round", "path", "stage", "site", "applied_op", "caught_by",
+    "wire_offset", "wire_width", "wire_label_bits",
+)
+
+
+def _set_mode(monkeypatch, *, packed, cache=True):
+    if packed:
+        monkeypatch.delenv("REPRO_DISABLE_PACKED_LABELS", raising=False)
+    else:
+        # worker processes inherit the environment, so the hatch reaches
+        # the shard side of the pickle boundary too
+        monkeypatch.setenv("REPRO_DISABLE_PACKED_LABELS", "1")
+    if cache:
+        monkeypatch.delenv("REPRO_DISABLE_DECODE_CACHE", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_DISABLE_DECODE_CACHE", "1")
+
+
+def _run(task, adversary=None, *, workers=0, n=24, runs=3, seed=11):
+    spec = get_task(task)
+    factory = spec.adversaries[adversary] if adversary else None
+    runner = BatchRunner(
+        spec.protocol(), spec.yes_factory, prover_factory=factory, workers=workers
+    )
+    return runner.run(runs, n, seed=seed)
+
+
+def _outcomes(report):
+    """The soundness-relevant view of a batch: per-run verdict triples."""
+    return [
+        (r.accepted, r.proof_size_bits, r.n_rejecting, r.n_rounds)
+        for r in report.records
+    ]
+
+
+class TestHonestDifferential:
+    @pytest.mark.parametrize("task", ALL_TASKS)
+    def test_packed_vs_tree_serial(self, task, monkeypatch):
+        _set_mode(monkeypatch, packed=True)
+        packed = _run(task)
+        _set_mode(monkeypatch, packed=False)
+        tree = _run(task)
+        assert packed.canonical_json() == tree.canonical_json()
+        assert _outcomes(packed) == _outcomes(tree)
+
+    @pytest.mark.parametrize("task", ALL_TASKS)
+    def test_packed_vs_tree_two_workers(self, task, monkeypatch):
+        _set_mode(monkeypatch, packed=True)
+        packed = _run(task, workers=2)
+        _set_mode(monkeypatch, packed=False)
+        tree = _run(task, workers=2)
+        assert packed.canonical_json() == tree.canonical_json()
+        assert _outcomes(packed) == _outcomes(tree)
+
+
+class TestFuzzDifferential:
+    @pytest.mark.parametrize("task", ALL_TASKS)
+    @pytest.mark.parametrize("adversary", FUZZ_ADVERSARIES)
+    def test_packed_vs_tree(self, task, adversary, monkeypatch):
+        _set_mode(monkeypatch, packed=True)
+        packed = _run(task, adversary)
+        _set_mode(monkeypatch, packed=False)
+        tree = _run(task, adversary)
+        assert packed.canonical_json() == tree.canonical_json()
+        assert _outcomes(packed) == _outcomes(tree)
+        # same mutations, same catchers, same *wire* coordinates: the
+        # offsets come from the packed schema in both representations
+        for a, b in zip(packed.records, tree.records):
+            extra_a = a.extra or {}
+            extra_b = b.extra or {}
+            for key in MUTATION_KEYS:
+                assert extra_a.get(key) == extra_b.get(key), (task, adversary, key)
+
+
+class TestFullCross:
+    """{packed, tree} x {cache on, off} x {serial, 2 workers} -> one report."""
+
+    @pytest.mark.parametrize("task", ["lr_sorting", "path_outerplanarity"])
+    def test_eight_way_cross_is_byte_identical(self, task, monkeypatch):
+        reports = {}
+        for packed in (True, False):
+            for cache in (True, False):
+                for workers in (0, 2):
+                    _set_mode(monkeypatch, packed=packed, cache=cache)
+                    reports[(packed, cache, workers)] = _run(
+                        task, workers=workers
+                    ).canonical_json()
+        baseline = reports[(True, True, 0)]
+        for combo, canonical in reports.items():
+            assert canonical == baseline, combo
+
+
+class TestEscapeHatch:
+    def test_hatch_flag_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DISABLE_PACKED_LABELS", raising=False)
+        assert not packed_labels_disabled()
+        monkeypatch.setenv("REPRO_DISABLE_PACKED_LABELS", "0")
+        assert not packed_labels_disabled()
+        monkeypatch.setenv("REPRO_DISABLE_PACKED_LABELS", "1")
+        assert packed_labels_disabled()
+
+    def test_packed_transport_is_smaller(self, monkeypatch):
+        """The point of the blob: shard bytes drop vs. pickled trees."""
+        spec = get_task("path_outerplanarity")
+        from repro.runtime.seeds import SeedSequence
+
+        run_ss = SeedSequence(11).child(0)
+        factory = spec.yes_factory
+        if hasattr(factory, "build_seeded"):
+            instance = factory.build_seeded(24, run_ss.child("instance").seed_int())
+        else:
+            instance = factory(24, run_ss.child("instance").rng())
+        result = spec.protocol().execute(
+            instance, rng=run_ss.child("protocol").rng()
+        )
+        monkeypatch.delenv("REPRO_DISABLE_PACKED_LABELS", raising=False)
+        packed_bytes = len(pickle.dumps(result.transcript))
+        monkeypatch.setenv("REPRO_DISABLE_PACKED_LABELS", "1")
+        tree_bytes = len(pickle.dumps(result.transcript))
+        monkeypatch.delenv("REPRO_DISABLE_PACKED_LABELS", raising=False)
+        assert packed_bytes < tree_bytes / 2, (packed_bytes, tree_bytes)
+        # and the packed pickle round-trips to an equal transcript
+        clone = pickle.loads(pickle.dumps(result.transcript))
+        assert clone.wire_hex() == result.transcript.wire_hex()
