@@ -1,0 +1,105 @@
+"""E14-bench: one soundness campaign, three execution backends.
+
+The backend refactor's deliverable (ROADMAP "scale past one box"): the
+*same* 10k-run soundness campaign — honest prover on LR-sorting
+no-instances, where the protocol must reject — executed on
+
+1. ``SerialBackend`` (in-process reference),
+2. ``ProcessPoolBackend`` (local pool, 2 configured workers, clamped to
+   usable cores),
+3. ``RemoteWorkerBackend`` (socket coordinator + two localhost worker
+   agents speaking the spec-once / packed-blob wire protocol),
+
+with canonical reports asserted byte-identical across all three and
+wall-clock recorded per backend in ``BENCH_backends.json``.  Timings are
+recorded, not asserted (the CI container has one usable core, so no
+backend can beat serial there; the point of the remote backend is boxes
+this benchmark doesn't have).
+
+    pytest benchmarks/bench_backends.py -q
+    REPRO_BENCH_RUNS=500 pytest benchmarks/bench_backends.py -q   # quick look
+"""
+
+import json
+import os
+import platform
+from pathlib import Path
+
+from repro.runtime import BatchRunner, get_task
+from repro.runtime.backends import ProcessPoolBackend, SerialBackend
+from repro.runtime.remote import InProcessWorker, RemoteWorkerBackend
+
+RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "10000"))
+N = 64
+SEED = 0
+TASK = "lr_sorting"
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_backends.json"
+
+
+def _campaign(backend):
+    spec = get_task(TASK)
+    runner = BatchRunner(spec.protocol(c=2), spec.no_factory, backend=backend)
+    return runner.run(RUNS, N, seed=SEED)
+
+
+def test_soundness_campaign_identical_on_all_backends():
+    serial = _campaign(SerialBackend())
+    reference = serial.canonical_json()
+
+    pool = _campaign(ProcessPoolBackend(2))
+    assert pool.canonical_json() == reference
+
+    remote_backend = RemoteWorkerBackend(min_workers=2, accept_timeout=30.0)
+    workers = [InProcessWorker(remote_backend.address).start() for _ in range(2)]
+    try:
+        remote = _campaign(remote_backend)
+    finally:
+        remote_backend.close()
+        for worker in workers:
+            worker.join(timeout=10)
+    assert remote.canonical_json() == reference
+
+    # a soundness campaign is only meaningful if the verdicts reject
+    assert serial.rejection_rate == 1.0
+
+    payload = {
+        "experiment": (
+            f"{RUNS}-run soundness campaign ({TASK} no-instances, n={N}) "
+            "on serial / process-pool / remote-worker backends"
+        ),
+        "runs": RUNS,
+        "n": N,
+        "master_seed": SEED,
+        "task": TASK,
+        "rejection_rate": serial.rejection_rate,
+        "canonical_identical_across_backends": True,
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "backends": {
+            "serial": {
+                "wall_clock_s": round(serial.wall_clock_total, 3),
+                "ms_per_run": round(serial.wall_time_per_run * 1000, 3),
+            },
+            "process": {
+                "wall_clock_s": round(pool.wall_clock_total, 3),
+                "info": pool.meta["backend"],
+            },
+            "remote": {
+                "wall_clock_s": round(remote.wall_clock_total, 3),
+                "info": remote.meta["backend"],
+                "workers": "2 localhost in-process agents (thread harness)",
+            },
+        },
+        "speedup_vs_serial": {
+            "process": round(
+                serial.wall_clock_total / pool.wall_clock_total, 3
+            ),
+            "remote": round(
+                serial.wall_clock_total / remote.wall_clock_total, 3
+            ),
+        },
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

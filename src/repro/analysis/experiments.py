@@ -44,6 +44,7 @@ def run_batch(
     trace: bool = False,
     journal=None,
     min_runs_per_shard: Optional[int] = 8,
+    backend=None,
 ) -> BatchReport:
     """One aggregated batch of runs; the substrate of every driver here.
 
@@ -60,6 +61,11 @@ def run_batch(
     small ``workers>0`` batches fall back to serial execution (noted in
     ``report.meta["auto_serial"]``) rather than paying more in process
     spawns than the parallelism returns.
+
+    ``backend`` picks where the runs execute (a name like ``"serial"`` /
+    ``"process"`` / ``"remote:host:port"``, or an
+    :class:`~repro.runtime.backends.ExecutionBackend` instance); results
+    are byte-identical on every backend.
     """
     runner = BatchRunner(
         protocol,
@@ -73,6 +79,7 @@ def run_batch(
         trace=trace,
         journal=journal,
         min_runs_per_shard=min_runs_per_shard,
+        backend=backend,
     )
     return runner.run(n_runs, n, seed=seed)
 
@@ -90,6 +97,7 @@ def size_sweep(
     fault_plan=None,
     trace: bool = False,
     journal=None,
+    backend=None,
 ) -> Dict:
     """Max measured proof size per n; fits for the growth verdict (E1).
 
@@ -116,6 +124,7 @@ def size_sweep(
             fault_plan=fault_plan,
             trace=trace,
             journal=journal,
+            backend=backend,
         )
         rejected = [r for r in report.records if not r.accepted]
         if rejected:

@@ -15,6 +15,17 @@ worker processes via ``repro.runtime.BatchRunner``; results are identical
 to ``--workers 0`` (serial) for the same seed, because run ``i`` always
 draws from the stream ``SeedSequence(seed).child(i)``.
 
+Both also accept ``--backend`` to pick *where* the runs execute
+(``serial``, ``process``, or ``remote:host:port`` — see
+``repro.runtime.backends``); every backend produces byte-identical
+canonical reports.  A remote coordinator waits for agents started on
+any reachable machine::
+
+    python -m repro batch planarity --runs 10000 \\
+        --backend remote:0.0.0.0:7077 --min-workers 2
+    # on each worker box:
+    python -m repro worker --connect coordinator-host:7077
+
 Both subcommands also expose the resilience layer::
 
     python -m repro batch planarity --runs 200 --failure-policy degrade \\
@@ -42,6 +53,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
 from typing import Optional
@@ -76,6 +88,45 @@ def _add_resilience_args(parser) -> None:
              "'rate=0.1,kinds=raise|hang|kill,seed=7,fires=1' or "
              "'at=3:raise+9:kill:inf' (see FaultPlan.from_spec)",
     )
+
+
+def _add_backend_args(parser) -> None:
+    parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="execution backend: serial, process, or remote[:host:port] "
+             "(default: picked from --workers); canonical results are "
+             "byte-identical on every backend",
+    )
+    parser.add_argument(
+        "--min-workers", type=int, default=None, metavar="K",
+        help="remote backend: wait for K registered worker agents before "
+             "dispatching (default: max(1, --workers))",
+    )
+
+
+def _resolve_cli_backend(args):
+    """``(backend, error)`` from ``--backend``; backend is None for default.
+
+    The caller owns the returned backend's lifecycle (``close()`` it).
+    """
+    if not getattr(args, "backend", None):
+        return None, None
+    from .runtime.backends import resolve_backend
+
+    workers = args.workers
+    if args.backend.partition(":")[0].strip().lower() == "remote":
+        if args.min_workers is not None:
+            workers = args.min_workers
+        workers = max(1, workers)
+    try:
+        backend = resolve_backend(args.backend, workers=workers)
+    except (ValueError, OSError) as exc:
+        return None, f"bad --backend: {exc}"
+    connect = getattr(backend, "connect_spec", None)
+    if connect is not None:
+        print(f"remote coordinator listening on {connect}; start agents "
+              f"with: python -m repro worker --connect {connect}")
+    return backend, None
 
 
 def _parse_fault_plan(args):
@@ -200,6 +251,10 @@ def cmd_sweep(args) -> int:
     if plan_err:
         print(plan_err)
         return 2
+    backend, backend_err = _resolve_cli_backend(args)
+    if backend_err:
+        print(backend_err)
+        return 2
     journal = _open_journal(args)
     try:
         data = size_sweep(
@@ -214,11 +269,14 @@ def cmd_sweep(args) -> int:
             max_retries=args.max_retries,
             fault_plan=plan,
             journal=journal,
+            backend=backend,
         )
     except RuntimeError as exc:
         print(f"sweep aborted ({args.failure_policy} policy): {exc}")
         return 1
     finally:
+        if backend is not None:
+            backend.close()
         if journal is not None:
             journal.close()
     failed = data.get("failed_runs", [0] * len(ns))
@@ -262,6 +320,10 @@ def cmd_batch(args) -> int:
     if plan_err:
         print(plan_err)
         return 2
+    backend, backend_err = _resolve_cli_backend(args)
+    if backend_err:
+        print(backend_err)
+        return 2
     journal = _open_journal(args)
     try:
         report = run_batch(
@@ -277,6 +339,7 @@ def cmd_batch(args) -> int:
             max_retries=args.max_retries,
             fault_plan=plan,
             journal=journal,
+            backend=backend,
         )
     except ValueError as exc:
         print(f"bad batch parameters: {exc}")
@@ -286,6 +349,8 @@ def cmd_batch(args) -> int:
         print(f"batch aborted ({args.failure_policy} policy): {exc}")
         return 1
     finally:
+        if backend is not None:
+            backend.close()
         if journal is not None:
             journal.close()
     print(report.summary())
@@ -391,6 +456,26 @@ def cmd_fuzz(args) -> int:
     return 0
 
 
+def cmd_worker(args) -> int:
+    from .runtime.remote import serve_worker
+
+    from .runtime.remote import parse_address
+
+    address = args.connect
+    try:
+        # validate eagerly so a typo is a usage error, not a silent retry loop
+        parse_address(address)
+    except ValueError as exc:
+        print(exc)
+        return 2
+    print(f"worker {os.getpid()} connecting to {address} ...")
+    status = serve_worker(address, connect_timeout=args.connect_timeout)
+    if status != 0:
+        print(f"could not reach a coordinator at {address} "
+              f"within {args.connect_timeout}s")
+    return status
+
+
 def cmd_attack(args) -> int:
     from .lowerbound import CutAndPasteAttack, TruncatedPositionScheme
     from .lowerbound.cut_and_paste import views_preserved
@@ -445,6 +530,7 @@ def main(argv=None) -> int:
         help="worker processes (0 = serial; same results either way)",
     )
     _add_resilience_args(p_sweep)
+    _add_backend_args(p_sweep)
     _add_journal_arg(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
@@ -466,6 +552,7 @@ def main(argv=None) -> int:
     )
     p_batch.add_argument("--json", help="write canonical report + timing to this file")
     _add_resilience_args(p_batch)
+    _add_backend_args(p_batch)
     _add_journal_arg(p_batch)
     p_batch.set_defaults(func=cmd_batch)
 
@@ -511,6 +598,20 @@ def main(argv=None) -> int:
     )
     p_fuzz.add_argument("--json", help="write the coverage matrix to this file")
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="remote worker agent: execute shards for a batch coordinator",
+    )
+    p_worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the coordinator's --backend remote:HOST:PORT address",
+    )
+    p_worker.add_argument(
+        "--connect-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="keep retrying the initial connection this long (default: 30)",
+    )
+    p_worker.set_defaults(func=cmd_worker)
 
     p_attack = sub.add_parser("attack", help="Theorem 1.8 cut-and-paste attack")
     p_attack.add_argument("--n", type=int, default=1024)

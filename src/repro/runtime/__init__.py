@@ -7,8 +7,13 @@ The pieces, bottom-up:
   worker layout).
 * :mod:`~repro.runtime.cache` — ``InstanceCache`` / ``CachedFactory``,
   memoizing graph construction keyed by ``(family, n, seed)``.
+* :mod:`~repro.runtime.backends` — the ``ExecutionBackend`` interface:
+  where shards execute (``serial``, ``process``, ``remote``) without the
+  canonical report being able to tell the difference.
+* :mod:`~repro.runtime.remote` — socket-dispatched worker agents
+  (``repro worker --connect host:port``) and their coordinator backend.
 * :mod:`~repro.runtime.runner` — ``BatchRunner``, sharding runs over a
-  process pool and aggregating ``BatchReport`` objects whose canonical
+  backend and aggregating ``BatchReport`` objects whose canonical
   payload is byte-identical for serial and parallel execution.
 * :mod:`~repro.runtime.registry` — named, picklable task specs (protocol +
   instance factories + adversaries) for the CLI, benchmarks, and examples.
@@ -20,6 +25,15 @@ The pieces, bottom-up:
   reports carrying typed ``FailureRecord`` entries.
 """
 
+from .backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    backend_names,
+    plan_shards,
+    register_backend,
+    resolve_backend,
+)
 from .cache import CachedFactory, InstanceCache, process_cache
 from .faults import (
     FAULT_KINDS,
@@ -39,6 +53,7 @@ from .resilience import (
     RunTimeoutError,
     backoff_delay,
 )
+from .remote import InProcessWorker, RemoteWorkerBackend, parse_address, serve_worker
 from .runner import BatchReport, BatchRunner, RunRecord
 from .seeds import SeedSequence, retry_jitter, run_streams
 
@@ -46,26 +61,37 @@ __all__ = [
     "BatchReport",
     "BatchRunner",
     "CachedFactory",
+    "ExecutionBackend",
     "FAILURE_POLICIES",
     "FAULT_KINDS",
     "FailureRecord",
     "FaultPlan",
+    "InProcessWorker",
     "InjectedFault",
     "InstanceCache",
     "PERSISTENT",
     "PlannedFault",
+    "ProcessPoolBackend",
+    "RemoteWorkerBackend",
     "RetryExhaustedError",
     "RunRecord",
     "RunTimeoutError",
     "SeedSequence",
+    "SerialBackend",
     "TaskSpec",
     "active_fault_plan",
+    "backend_names",
     "backoff_delay",
     "clear_fault_plan",
     "get_task",
     "install_fault_plan",
+    "parse_address",
+    "plan_shards",
     "process_cache",
+    "register_backend",
+    "resolve_backend",
     "retry_jitter",
     "run_streams",
+    "serve_worker",
     "task_names",
 ]

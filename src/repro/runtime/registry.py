@@ -330,3 +330,20 @@ def get_task(name: str) -> TaskSpec:
 
 def task_names() -> Tuple[str, ...]:
     return tuple(sorted(_TASKS))
+
+
+def conformance_cases() -> Tuple[Tuple[str, Optional[str]], ...]:
+    """``(task, adversary-or-None)`` pairs for cross-backend conformance.
+
+    Every task honest (adversary None) plus its universal ``fuzz_rK``
+    family — the same coverage the E13 wire differential runs, so
+    backend conformance and wire-format conformance pin the same surface.
+    """
+    cases: list = []
+    for name in task_names():
+        spec = _TASKS[name]
+        cases.append((name, None))
+        for adv in sorted(spec.adversaries):
+            if adv.startswith("fuzz_r"):
+                cases.append((name, adv))
+    return tuple(cases)

@@ -215,12 +215,18 @@ def _execute_resilient_shard(
     indices: Sequence[int],
     attempts: Dict[int, int],
     run_timeout: Optional[float],
+    in_worker: bool = True,
 ) -> Tuple[List[_RunOutcome], Optional[Dict[str, int]]]:
     """Worker entry point: run a shard, catching per-run failures.
 
     Unlike the legacy ``_execute_runs``, failures do not escape (except a
     ``kill`` fault's ``os._exit``, which nothing can catch): each run
     reports an outcome, so one bad run never poisons its shard-mates.
+
+    ``in_worker`` stays True in disposable pool/agent processes; the
+    in-process remote worker harness of :mod:`repro.runtime.remote`
+    passes False so a planned ``kill`` degrades to a transient raise
+    instead of taking down the hosting interpreter.
     """
     plan = spec.fault_plan
     if plan is not None:
@@ -229,7 +235,7 @@ def _execute_resilient_shard(
     stats_before = cache.stats() if cache is not None else None
     try:
         outcomes = [
-            _attempt_run(spec, i, attempts.get(i, 0), run_timeout, in_worker=True)
+            _attempt_run(spec, i, attempts.get(i, 0), run_timeout, in_worker=in_worker)
             for i in indices
         ]
     finally:
@@ -352,6 +358,47 @@ class _ResilientExecution:
             error=error,
         )
 
+    def absorb_wave(
+        self,
+        outcomes: Sequence[_RunOutcome],
+        lost: Sequence[Tuple[int, str]],
+        lost_detail: str = "worker died or hung",
+    ) -> List[int]:
+        """Fold one wave's outcomes and losses into the execution state.
+
+        Every outcome and loss consumes one attempt of its run; failures
+        route through :meth:`_note_failure` (which raises under strict /
+        exhausted-retry policies).  Returns the sorted run indices to
+        resubmit.  Shared by the pooled path and the remote coordinator —
+        the policy semantics must not depend on where shards executed.
+        """
+        retry: List[int] = []
+        for outcome in outcomes:
+            self.attempts[outcome.index] += 1
+            self.elapsed[outcome.index] += outcome.elapsed
+            if outcome.record is not None:
+                self.records[outcome.index] = outcome.record
+            else:
+                self._note_failure(
+                    outcome.index,
+                    outcome.fault,
+                    outcome.error,
+                    outcome.exc,
+                    retry,
+                )
+        for index, fault in lost:
+            self.attempts[index] += 1
+            self._note_failure(
+                index,
+                fault,
+                f"shard lost: {lost_detail} while batching "
+                f"{_spec_context(self.spec)}",
+                None,
+                retry,
+            )
+        retry.sort()
+        return retry
+
     def _backoff(self, retry_indices: Sequence[int]) -> None:
         delay = max(
             backoff_delay(
@@ -424,32 +471,8 @@ class _ResilientExecution:
                         cache_stats = {"hits": 0, "misses": 0}
                     cache_stats["hits"] += delta["hits"]
                     cache_stats["misses"] += delta["misses"]
-                retry: List[int] = []
-                for outcome in outcomes:
-                    self.attempts[outcome.index] += 1
-                    self.elapsed[outcome.index] += outcome.elapsed
-                    if outcome.record is not None:
-                        self.records[outcome.index] = outcome.record
-                    else:
-                        self._note_failure(
-                            outcome.index,
-                            outcome.fault,
-                            outcome.error,
-                            outcome.exc,
-                            retry,
-                        )
-                for index, fault in lost:
-                    self.attempts[index] += 1
-                    self._note_failure(
-                        index,
-                        fault,
-                        f"shard lost: worker died or hung while batching "
-                        f"{_spec_context(self.spec)}",
-                        None,
-                        retry,
-                    )
+                retry = self.absorb_wave(outcomes, lost)
                 if retry:
-                    retry.sort()
                     self._backoff(retry)
                     wave = _shard(retry, self.chunk)
                 else:

@@ -33,18 +33,13 @@ import json
 import math
 import os
 import time
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import metrics as obs_metrics
+from .backends import ExecutionBackend, ProcessPoolBackend, resolve_backend
 from .cache import CachedFactory
 from .seeds import SeedSequence
-
-try:
-    from concurrent.futures.process import BrokenProcessPool
-except ImportError:  # pragma: no cover
-    BrokenProcessPool = None
 
 #: When true, every ``RunRecord`` probes ``json.dumps`` on its ``extra``
 #: payload at construction time, so a non-serializable adversary report
@@ -365,6 +360,16 @@ class BatchRunner:
     ``ProcessPoolExecutor`` with that many processes.  ``chunk_size``
     controls shard granularity (default: ~4 shards per worker).
 
+    Where the runs execute is pluggable (see
+    :mod:`repro.runtime.backends`): ``backend`` accepts a name
+    (``"serial"``, ``"process"``, ``"remote[:host:port]"``) or an
+    :class:`~repro.runtime.backends.ExecutionBackend` instance;
+    ``None`` keeps the legacy mapping from ``workers``.  Every backend
+    produces byte-identical canonical reports — the choice shows up only
+    in ``report.meta["backend"]`` and wall-clock.  Swap mid-life with
+    :meth:`set_backend`; per-execution facts like the usable-core clamp
+    are re-checked on every ``run()``, not frozen at construction.
+
     Resilience knobs (see :mod:`repro.runtime.resilience`):
 
     - ``failure_policy`` — ``"strict"`` (default: first failure aborts),
@@ -412,6 +417,7 @@ class BatchRunner:
         trace: bool = False,
         journal: Optional[Any] = None,
         min_runs_per_shard: Optional[int] = None,
+        backend: Optional[Any] = None,
     ):
         from .resilience import FAILURE_POLICIES
 
@@ -462,6 +468,34 @@ class BatchRunner:
         #: None = never second-guess the caller (tests that *need* the pool
         #: path, e.g. worker-crash injection, rely on that).
         self.min_runs_per_shard = min_runs_per_shard
+        self._backend_spec = backend
+        self._backend: Optional[ExecutionBackend] = None
+
+    # -- backend plumbing --------------------------------------------------
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend, resolved lazily on first use."""
+        if self._backend is None:
+            self._backend = resolve_backend(
+                self._backend_spec,
+                workers=self.workers,
+                chunk_size=self.chunk_size,
+            )
+        return self._backend
+
+    def set_backend(self, backend: Any) -> ExecutionBackend:
+        """Swap the execution backend (name or instance) and return it.
+
+        Nothing execution-shaped is cached across the swap: core clamps,
+        worker registration, and spec shipping all happen per ``run()``
+        inside the backend, so a runner built under one CPU affinity (or
+        backend) is safe to point somewhere else mid-life.
+        """
+        self._backend = resolve_backend(
+            backend, workers=self.workers, chunk_size=self.chunk_size
+        )
+        return self._backend
 
     @property
     def _resilient(self) -> bool:
@@ -488,14 +522,19 @@ class BatchRunner:
         )
         t0 = time.perf_counter()
         failures: List[Any] = []
+        backend = self.backend
         auto_serial: Optional[str] = None
-        if self._resilient:
-            from .resilience import run_resilient
-
-            records, failures, cache_stats = run_resilient(
+        if isinstance(backend, ProcessPoolBackend) and not self._resilient:
+            # the pool is the only backend worth second-guessing: serial
+            # has no spawn cost and remote workers may sit on wider boxes
+            auto_serial = self._auto_serial_reason(n_runs)
+        if auto_serial is not None:
+            records, cache_stats = _execute_runs(spec, range(n_runs))
+            backend_info = {"backend": "serial", "auto_serial": True}
+        elif self._resilient:
+            records, failures, cache_stats = backend.run_resilient(
                 spec,
                 n_runs,
-                workers=self.workers,
                 chunk_size=self.chunk_size,
                 failure_policy=self.failure_policy,
                 run_timeout=self.run_timeout,
@@ -503,14 +542,12 @@ class BatchRunner:
                 backoff_base=self.backoff_base,
                 backoff_cap=self.backoff_cap,
             )
-        elif self.workers == 0:
-            records, cache_stats = _execute_runs(spec, range(n_runs))
+            backend_info = backend.last_run_info
         else:
-            auto_serial = self._auto_serial_reason(n_runs)
-            if auto_serial is not None:
-                records, cache_stats = _execute_runs(spec, range(n_runs))
-            else:
-                records, cache_stats = self._run_parallel(spec, n_runs)
+            records, cache_stats = backend.run_strict(
+                spec, n_runs, chunk_size=self.chunk_size
+            )
+            backend_info = backend.last_run_info
         records.sort(key=lambda r: r.index)
         report = BatchReport(
             protocol_name=getattr(self.protocol, "name", type(self.protocol).__name__),
@@ -529,7 +566,16 @@ class BatchRunner:
             # are identical either way, so it lives in meta, not the
             # canonical payload, and ``workers`` keeps the configured value
             report.meta["auto_serial"] = auto_serial
+        if backend_info:
+            # same reasoning: where the runs executed is an execution
+            # fact, not part of the batch's identity
+            report.meta["backend"] = backend_info
         if obs_metrics.enabled():
+            obs_metrics.inc(
+                "repro_backend_batches_total",
+                help="batches executed, by backend",
+                backend=backend_info.get("backend", backend.name),
+            )
             obs_metrics.inc(
                 "repro_runs_total", len(records),
                 help="completed protocol runs", task=report.protocol_name,
@@ -566,52 +612,3 @@ class BatchRunner:
         if cores <= 1:
             return f"{cores} usable core(s); worker processes cannot overlap"
         return None
-
-    def _run_parallel(
-        self, spec: _BatchSpec, n_runs: int
-    ) -> Tuple[List[RunRecord], Optional[Dict[str, int]]]:
-        chunk = self.chunk_size or max(1, math.ceil(n_runs / (self.workers * 4)))
-        shards = [
-            list(range(lo, min(lo + chunk, n_runs)))
-            for lo in range(0, n_runs, chunk)
-        ]
-        records: List[RunRecord] = []
-        cache_stats: Optional[Dict[str, int]] = None
-        with ProcessPoolExecutor(
-            max_workers=self.workers,
-            initializer=_init_worker,
-            initargs=(spec,),
-        ) as pool:
-            futures = [pool.submit(_execute_shard, shard) for shard in shards]
-            try:
-                done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
-                first_exc = None
-                for fut in done:
-                    exc = fut.exception()
-                    if exc is not None and first_exc is None:
-                        first_exc = exc
-                if first_exc is not None:
-                    raise first_exc
-                for fut in futures:
-                    shard_records, shard_stats = fut.result()
-                    records.extend(shard_records)
-                    if shard_stats is not None:
-                        if cache_stats is None:
-                            cache_stats = {"hits": 0, "misses": 0}
-                        cache_stats["hits"] += shard_stats["hits"]
-                        cache_stats["misses"] += shard_stats["misses"]
-            except BaseException as exc:
-                # cancel_futures drops every still-queued shard; a plain
-                # fut.cancel() loop would leave them to execute during the
-                # implicit shutdown below, delaying a strict abort
-                pool.shutdown(wait=False, cancel_futures=True)
-                if BrokenProcessPool is not None and isinstance(
-                    exc, BrokenProcessPool
-                ):
-                    raise RuntimeError(
-                        f"a worker process died while batching "
-                        f"{getattr(self.protocol, 'name', '?')} "
-                        f"(n={spec.n}, seed={spec.master_seed})"
-                    ) from exc
-                raise
-        return records, cache_stats
