@@ -1,0 +1,142 @@
+"""E15-bench: the certification service under sustained client load.
+
+One live :class:`ProofServer` per backend (serial lane, process pool),
+hammered by a small fleet of synchronous clients issuing fresh
+certification requests back-to-back.  Recorded per backend in
+``BENCH_service.json``:
+
+* sustained throughput (completed requests / second of wall clock),
+* request latency p50 / p99 (client-observed, connect to RESULT),
+* admission rejections seen by the fleet (BUSY + Retry-After retries),
+* graceful-drain duration with the fleet still connected.
+
+Latencies are recorded, not asserted — the CI box has one usable core
+and the serial lane serialises execution by design; the numbers exist
+so regressions in the *serving* overhead (framing, queueing, journal
+fan-out) show up against the raw ``run_batch`` cost.
+
+    pytest benchmarks/bench_service.py -q
+    REPRO_BENCH_QUICK=1 pytest benchmarks/bench_service.py -q   # smoke
+"""
+
+import json
+import os
+import platform
+import threading
+import time
+from pathlib import Path
+
+from repro.service.client import ServiceClient
+from repro.service.server import ProofServer
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+CLIENTS = 3
+REQUESTS_PER_CLIENT = 4 if QUICK else 25
+RUNS = 3 if QUICK else 5
+N = 32
+TASK = "lr_sorting"
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _percentile(sorted_values, q):
+    if not sorted_values:
+        return None
+    idx = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+def _fleet(address, *, clients, requests_per_client):
+    """Synchronous client fleet; returns (latencies, busy_retries)."""
+    latencies = []
+    busy = [0]
+    lock = threading.Lock()
+
+    def _one_client(cid):
+        client = ServiceClient(address, client_id=f"bench-{cid}", timeout=600.0)
+        for i in range(requests_per_client):
+            request = client.build_request(
+                TASK, runs=RUNS, n=N, seed=cid * 10_000 + i,
+                request_id=f"bench-{cid}-{i}",
+            )
+            t0 = time.perf_counter()
+            result = client.submit_with_retry(request, attempts=50, max_wait=0.5)
+            elapsed = time.perf_counter() - t0
+            assert result.ok
+            with lock:
+                latencies.append(elapsed)
+
+    threads = [
+        threading.Thread(target=_one_client, args=(cid,))
+        for cid in range(clients)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    return latencies, wall, busy[0]
+
+
+def _bench_backend(backend, workers):
+    server = ProofServer(backend=backend, workers=workers, queue_limit=16)
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    assert server.wait_ready(30.0)
+    address = (server.host, server.bound_port)
+
+    latencies, wall, _ = _fleet(
+        address, clients=CLIENTS, requests_per_client=REQUESTS_PER_CLIENT
+    )
+
+    # drain while the fleet's sockets are still warm: measure the
+    # SIGTERM-equivalent shutdown the operator would see
+    t0 = time.perf_counter()
+    server.request_drain()
+    thread.join(timeout=60.0)
+    assert not thread.is_alive()
+    drain = time.perf_counter() - t0
+
+    latencies.sort()
+    completed = len(latencies)
+    return {
+        "requests_completed": completed,
+        "sustained_req_per_s": round(completed / wall, 3),
+        "latency_p50_ms": round(_percentile(latencies, 0.50) * 1000, 3),
+        "latency_p99_ms": round(_percentile(latencies, 0.99) * 1000, 3),
+        "drain_s": round(drain, 3),
+        "drain_reported_s": round(server.drain_duration or 0.0, 3),
+        "admission_rejections": server.stats["rejected_busy"],
+        "server_stats": dict(server.stats),
+    }
+
+
+def test_service_throughput_and_drain():
+    results = {
+        "serial": _bench_backend("serial", 0),
+        "process": _bench_backend("process", 2),
+    }
+    for stats in results.values():
+        assert stats["requests_completed"] == CLIENTS * REQUESTS_PER_CLIENT
+        assert stats["server_stats"]["completed"] == CLIENTS * REQUESTS_PER_CLIENT
+
+    payload = {
+        "experiment": (
+            f"{CLIENTS}-client sustained certification load "
+            f"({REQUESTS_PER_CLIENT} requests each, {TASK} runs={RUNS} n={N}) "
+            "against a live proof server, then graceful drain"
+        ),
+        "quick": QUICK,
+        "task": TASK,
+        "runs_per_request": RUNS,
+        "n": N,
+        "clients": CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "backends": results,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -9,6 +9,14 @@
     python -m repro fuzz --task treewidth2 --round 3 --trials 60
     python -m repro attack --n 1024 --bits 6
     python -m repro run planarity --edges graph.txt   # one "u v" pair per line
+    python -m repro serve --port 7080 --backend process --workers 2
+    python -m repro submit planarity --connect 127.0.0.1:7080 --runs 200
+
+``serve`` runs the long-lived proof service (``repro.service``): bounded
+admission queue with BUSY backpressure, per-client fairness, idempotent
+request ids, and graceful drain on SIGTERM (exit 0).  ``submit`` is the
+matching client; exit codes: 0 ok, 1 failed/unsound, 2 usage, 3 busy,
+4 draining.
 
 ``sweep`` and ``batch`` accept ``--workers k`` to shard runs over ``k``
 worker processes via ``repro.runtime.BatchRunner``; results are identical
@@ -457,9 +465,7 @@ def cmd_fuzz(args) -> int:
 
 
 def cmd_worker(args) -> int:
-    from .runtime.remote import serve_worker
-
-    from .runtime.remote import parse_address
+    from .runtime.remote import parse_address, serve_worker
 
     address = args.connect
     try:
@@ -469,11 +475,116 @@ def cmd_worker(args) -> int:
         print(exc)
         return 2
     print(f"worker {os.getpid()} connecting to {address} ...")
-    status = serve_worker(address, connect_timeout=args.connect_timeout)
+    status = serve_worker(
+        address,
+        connect_timeout=args.connect_timeout,
+        reconnect=args.reconnect,
+        max_reconnects=args.max_reconnects,
+        reconnect_seed=args.reconnect_seed,
+    )
     if status != 0:
         print(f"could not reach a coordinator at {address} "
               f"within {args.connect_timeout}s")
     return status
+
+
+def cmd_serve(args) -> int:
+    import threading
+
+    from .service.server import ProofServer
+
+    try:
+        server = ProofServer(
+            host=args.host,
+            port=args.port,
+            backend=args.backend or "serial",
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            io_timeout=args.io_timeout,
+            drain_timeout=args.drain_timeout,
+            journal_path=args.journal,
+        )
+    except ValueError as exc:
+        print(f"bad serve parameters: {exc}")
+        return 2
+
+    def _announce() -> None:
+        if server.wait_ready(30.0):
+            print(
+                f"proof server listening on {server.host}:{server.bound_port} "
+                f"(backend {args.backend or 'serial'}, queue limit "
+                f"{args.queue_limit}); submit with: python -m repro submit "
+                f"--connect {server.host}:{server.bound_port} <task>",
+                flush=True,
+            )
+
+    threading.Thread(target=_announce, daemon=True).start()
+    # SIGTERM/SIGINT begin a graceful drain: finish in-flight + queued,
+    # reject new requests with a typed frame, flush journals, exit 0
+    status = server.run(install_signal_handlers=True)
+    if server.drain_duration is not None:
+        print(f"drained clean in {server.drain_duration:.2f}s "
+              f"({server.stats['completed']} completed, "
+              f"{server.stats['failed']} failed, "
+              f"{server.stats['rejected_busy']} busy-rejected)", flush=True)
+    return status
+
+
+def cmd_submit(args) -> int:
+    from .service.client import RequestFailed, ServiceClient, ServiceUnavailable
+
+    client = ServiceClient(args.connect, client_id=args.client)
+    try:
+        request = client.build_request(
+            args.task,
+            runs=args.runs,
+            n=args.n,
+            seed=args.seed,
+            c=args.c,
+            no_instance=args.no_instance,
+            adversary=args.adversary,
+            failure_policy=args.failure_policy,
+            run_timeout=args.run_timeout,
+            max_retries=args.max_retries,
+            inject_faults=args.inject_faults,
+            stream=args.stream,
+            request_id=args.request_id,
+        )
+    except ValueError as exc:
+        print(f"bad request: {exc}")
+        return 2
+    try:
+        result = client.submit_request(request)
+    except ServiceUnavailable as exc:
+        if exc.kind == "busy":
+            hint = f"; retry after {exc.retry_after}s" if exc.retry_after else ""
+            print(f"service busy (queue full){hint}")
+            return 3
+        print("service is draining; resubmit to the next instance")
+        return 4
+    except RequestFailed as exc:
+        print(f"request {request['id']} failed ({exc.fault}): {exc.error}")
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach service at {args.connect}: {exc}")
+        return 2
+    print(result.summary)
+    if result.degraded:
+        print(f"{len(result.failures)} of {request['runs']} runs failed "
+              f"(policy {request['failure_policy']})")
+    if args.json:
+        payload = {
+            "request": request,
+            "report": result.report,
+            "ok": result.ok,
+            "degraded": result.degraded,
+            "failures": result.failures,
+            "meta": result.meta,
+        }
+        with open(args.json, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+        print(f"report:      {args.json}")
+    return 0 if result.ok else 1
 
 
 def cmd_attack(args) -> int:
@@ -611,7 +722,90 @@ def main(argv=None) -> int:
         "--connect-timeout", type=float, default=30.0, metavar="SECONDS",
         help="keep retrying the initial connection this long (default: 30)",
     )
+    p_worker.add_argument(
+        "--reconnect", action="store_true",
+        help="rejoin after a lost coordinator with capped-exponential "
+             "backoff instead of exiting",
+    )
+    p_worker.add_argument(
+        "--max-reconnects", type=int, default=None, metavar="K",
+        help="give up after K reconnect attempts (default: unbounded)",
+    )
+    p_worker.add_argument(
+        "--reconnect-seed", type=int, default=None, metavar="SEED",
+        help="seed for the deterministic reconnect jitter (default: pid)",
+    )
     p_worker.set_defaults(func=cmd_worker)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="proof service: accept certification requests over a socket",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="listen port (0 = ephemeral, printed at startup)")
+    p_serve.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="warm execution backend: serial, process, or remote[:host:port] "
+             "(default: serial)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes for the process backend (default: 0)",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=16, metavar="K",
+        help="admission bound: requests queued past K get BUSY (default: 16)",
+    )
+    p_serve.add_argument(
+        "--io-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="cut connections stalling mid-frame after this long (default: 10)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="on SIGTERM, fail still-queued requests after this long "
+             "(default: 30)",
+    )
+    p_serve.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append every request's journal events (tagged by request id) "
+             "to this JSONL file",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit one certification request to a running proof service",
+    )
+    p_submit.add_argument("task", help=f"one of {', '.join(registry.task_names())}")
+    p_submit.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the service address printed by repro serve",
+    )
+    p_submit.add_argument("--runs", type=int, default=100)
+    p_submit.add_argument("--n", type=int, default=64)
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--c", type=int, default=2, help="soundness constant")
+    p_submit.add_argument("--no-instance", action="store_true")
+    p_submit.add_argument(
+        "--adversary", help="named cheating prover from the task's registry entry"
+    )
+    p_submit.add_argument(
+        "--request-id", default=None, metavar="ID",
+        help="idempotency key (default: derived from the request parameters; "
+             "resubmitting the same id replays instead of re-executing)",
+    )
+    p_submit.add_argument(
+        "--client", default="cli", metavar="NAME",
+        help="client identity for the fairness rotation (default: cli)",
+    )
+    p_submit.add_argument(
+        "--stream", action="store_true",
+        help="also stream the per-run journal events back",
+    )
+    p_submit.add_argument("--json", help="write request + canonical report to this file")
+    _add_resilience_args(p_submit)
+    p_submit.set_defaults(func=cmd_submit)
 
     p_attack = sub.add_parser("attack", help="Theorem 1.8 cut-and-paste attack")
     p_attack.add_argument("--n", type=int, default=1024)

@@ -73,6 +73,31 @@ class Counter:
         return self.values.get(_label_key(labels), 0)
 
 
+class Gauge:
+    """Settable point-in-time value, one per label set (queue depths,
+    in-flight counts — things that go down as well as up)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = _check_name(name)
+        self.help = help
+        self.values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        self.values[_label_key(labels)] = value
+
+    def inc(self, value: float = 1, **labels: str) -> None:
+        key = _label_key(labels)
+        self.values[key] = self.values.get(key, 0) + value
+
+    def dec(self, value: float = 1, **labels: str) -> None:
+        self.inc(-value, **labels)
+
+    def value(self, **labels: str) -> float:
+        return self.values.get(_label_key(labels), 0)
+
+
 class Histogram:
     """Cumulative-bucket histogram, one series per label set."""
 
@@ -132,6 +157,9 @@ class MetricsRegistry:
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get(name, Counter, help=help)
 
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, help=help)
+
     def histogram(
         self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
     ) -> Histogram:
@@ -153,7 +181,7 @@ class MetricsRegistry:
             if metric.help:
                 lines.append(f"# HELP {name} {metric.help}")
             lines.append(f"# TYPE {name} {metric.kind}")
-            if isinstance(metric, Counter):
+            if isinstance(metric, (Counter, Gauge)):
                 for key in sorted(metric.values):
                     lines.append(
                         f"{name}{_fmt_labels(key)} {_fmt_value(metric.values[key])}"
@@ -226,6 +254,13 @@ def inc(name: str, value: float = 1, help: str = "", **labels: str) -> None:
     if not _ENABLED:
         return
     REGISTRY.counter(name, help=help).inc(value, **labels)
+
+
+def set_gauge(name: str, value: float, help: str = "", **labels: str) -> None:
+    """Set gauge ``name`` (no-op unless metrics are enabled)."""
+    if not _ENABLED:
+        return
+    REGISTRY.gauge(name, help=help).set(value, **labels)
 
 
 def observe(

@@ -82,6 +82,13 @@ class RemoteProtocolError(RuntimeError):
     """A peer spoke something that is not the repro worker protocol."""
 
 
+class WireError(RemoteProtocolError):
+    """A frame violated the wire layer itself (e.g. an oversized length
+    prefix).  Subclasses :class:`RemoteProtocolError` so existing
+    coordinator drop-paths keep working, but lets callers distinguish a
+    hostile/corrupt byte stream from a well-formed protocol violation."""
+
+
 def parse_address(text: str) -> Tuple[str, int]:
     """``"host:port"`` -> ``(host, port)`` (IPv4/hostname form)."""
     host, sep, port = text.rpartition(":")
@@ -93,9 +100,12 @@ def parse_address(text: str) -> Tuple[str, int]:
         raise ValueError(f"bad address {text!r}: port must be an integer")
 
 
-def _encode_frame(op: bytes, payload: bytes = b"") -> bytes:
-    if len(payload) > MAX_FRAME_BYTES:
-        raise RemoteProtocolError(f"frame too large: {len(payload)} bytes")
+def _encode_frame(
+    op: bytes, payload: bytes = b"", *, max_frame_bytes: Optional[int] = None
+) -> bytes:
+    limit = MAX_FRAME_BYTES if max_frame_bytes is None else max_frame_bytes
+    if len(payload) > limit:
+        raise WireError(f"frame too large: {len(payload)} bytes (limit {limit})")
     return _HEADER.pack(op, len(payload)) + payload
 
 
@@ -128,32 +138,65 @@ def _recv_exact(sock: socket.socket, size: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_frame(sock: socket.socket) -> Tuple[bytes, bytes]:
+def recv_frame(
+    sock: socket.socket,
+    *,
+    max_frame_bytes: Optional[int] = None,
+    known_ops: Optional[frozenset] = None,
+) -> Tuple[bytes, bytes]:
     """Blocking read of one complete frame -> ``(op, payload)``."""
-    op, length = _parse_header(_recv_exact(sock, HEADER_SIZE))
+    op, length = _parse_header(
+        _recv_exact(sock, HEADER_SIZE),
+        max_frame_bytes=max_frame_bytes,
+        known_ops=known_ops,
+    )
     return op, (_recv_exact(sock, length) if length else b"")
 
 
-def _parse_header(header: bytes) -> Tuple[bytes, int]:
+def _parse_header(
+    header: bytes,
+    *,
+    max_frame_bytes: Optional[int] = None,
+    known_ops: Optional[frozenset] = None,
+) -> Tuple[bytes, int]:
     op, length = _HEADER.unpack(header)
-    if op not in _KNOWN_OPS:
+    if op not in (_KNOWN_OPS if known_ops is None else known_ops):
         raise RemoteProtocolError(f"unknown opcode {op!r}")
-    if length > MAX_FRAME_BYTES:
-        raise RemoteProtocolError(f"frame too large: {length} bytes")
+    limit = MAX_FRAME_BYTES if max_frame_bytes is None else max_frame_bytes
+    if length > limit:
+        # reject on the declared length alone: a forged/corrupt prefix
+        # must fail typed and fast, never reach the allocator
+        raise WireError(f"frame too large: {length} bytes (limit {limit})")
     return op, length
 
 
 class _FrameBuffer:
     """Incremental frame parser over a non-blocking byte stream."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        *,
+        max_frame_bytes: Optional[int] = None,
+        known_ops: Optional[frozenset] = None,
+    ) -> None:
         self._buf = bytearray()
+        self._max_frame_bytes = max_frame_bytes
+        self._known_ops = known_ops
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered toward a frame not yet complete (slow-loris tell)."""
+        return len(self._buf)
 
     def feed(self, data: bytes) -> List[Tuple[bytes, bytes]]:
         self._buf.extend(data)
         frames: List[Tuple[bytes, bytes]] = []
         while len(self._buf) >= HEADER_SIZE:
-            op, length = _parse_header(bytes(self._buf[:HEADER_SIZE]))
+            op, length = _parse_header(
+                bytes(self._buf[:HEADER_SIZE]),
+                max_frame_bytes=self._max_frame_bytes,
+                known_ops=self._known_ops,
+            )
             end = HEADER_SIZE + length
             if len(self._buf) < end:
                 break
@@ -170,10 +213,12 @@ class _FrameBuffer:
 class _WorkerConn:
     """Coordinator-side state of one connected worker."""
 
-    def __init__(self, sock: socket.socket, addr) -> None:
+    def __init__(
+        self, sock: socket.socket, addr, *, max_frame_bytes: Optional[int] = None
+    ) -> None:
         self.sock = sock
         self.addr = addr
-        self.frames = _FrameBuffer()
+        self.frames = _FrameBuffer(max_frame_bytes=max_frame_bytes)
         self.hello: Optional[Dict[str, Any]] = None
         self.spec_sent: Optional[int] = None  #: spec_id this conn holds
         self.shard: Optional[Tuple[int, List[int]]] = None  #: in flight
@@ -211,6 +256,7 @@ class RemoteWorkerBackend(ExecutionBackend):
         min_workers: int = 1,
         chunk_size: Optional[int] = None,
         accept_timeout: float = 30.0,
+        max_frame_bytes: Optional[int] = None,
     ):
         super().__init__()
         if min_workers < 1:
@@ -221,6 +267,7 @@ class RemoteWorkerBackend(ExecutionBackend):
         self.min_workers = min_workers
         self.chunk_size = chunk_size
         self.accept_timeout = accept_timeout
+        self.max_frame_bytes = max_frame_bytes
         self._listener = socket.create_server((host, port), backlog=16)
         self._listener.setblocking(False)
         self.port = self._listener.getsockname()[1]
@@ -288,7 +335,7 @@ class RemoteWorkerBackend(ExecutionBackend):
             except (BlockingIOError, OSError):
                 return
             sock.setblocking(False)
-            conn = _WorkerConn(sock, addr)
+            conn = _WorkerConn(sock, addr, max_frame_bytes=self.max_frame_bytes)
             self._conns[sock] = conn
             self._selector.register(sock, selectors.EVENT_READ, conn)
 
@@ -610,6 +657,41 @@ class RemoteWorkerBackend(ExecutionBackend):
 # ---------------------------------------------------------------------------
 
 
+def reconnect_backoff(
+    seed: int, attempt: int, base: float = 0.05, cap: float = 2.0
+) -> float:
+    """Deterministic capped-exponential wait before reconnect ``attempt``.
+
+    ``base * 2**(attempt-1)`` capped at ``cap``, scaled into ``[0.5, 1.0)``
+    by :func:`~repro.runtime.seeds.reconnect_jitter` — the agent-side twin
+    of :func:`repro.runtime.resilience.backoff_delay`, so a fleet of
+    agents seeded differently never thunders back in lockstep, yet any
+    one agent's rejoin schedule replays exactly.
+    """
+    from .seeds import reconnect_jitter
+
+    raw = min(base * (2 ** max(attempt - 1, 0)), cap)
+    return raw * (0.5 + 0.5 * reconnect_jitter(seed, attempt))
+
+
+def _connect_with_retry(host: str, port: int, connect_timeout: float):
+    """Dial the coordinator, retrying for ``connect_timeout`` seconds.
+
+    Returns a blocking connected socket, or ``None`` if the deadline
+    passed without the coordinator answering.
+    """
+    deadline = time.monotonic() + connect_timeout
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=5.0)
+            sock.setblocking(True)
+            return sock
+        except OSError:
+            if time.monotonic() >= deadline:
+                return None
+            time.sleep(0.1)
+
+
 def serve_worker(
     address,
     *,
@@ -617,6 +699,12 @@ def serve_worker(
     in_worker: bool = True,
     execution_lock: Optional[threading.Lock] = None,
     result_send_hook: Optional[Callable[[socket.socket, bytes], None]] = None,
+    max_frame_bytes: Optional[int] = None,
+    reconnect: bool = False,
+    max_reconnects: Optional[int] = None,
+    backoff_base: float = 0.05,
+    backoff_cap: float = 2.0,
+    reconnect_seed: Optional[int] = None,
 ) -> int:
     """Agent loop: register with a coordinator, execute shards until BYE.
 
@@ -626,33 +714,63 @@ def serve_worker(
     then serves batches until the coordinator says BYE or the connection
     drops.  Returns a process exit status (0 = clean shutdown).
 
+    With ``reconnect=True`` a dropped connection is not the end: the
+    agent waits :func:`reconnect_backoff` (capped-exponential, jittered
+    deterministically from ``reconnect_seed`` — default the pid) and
+    dials again, up to ``max_reconnects`` times (unbounded if ``None``).
+    An explicit BYE always ends service; a coordinator that never
+    answers within ``connect_timeout`` ends the retry loop with 0 (the
+    coordinator is gone, same as today's dropped-connection exit).
+
     ``in_worker`` / ``execution_lock`` / ``result_send_hook`` are seams
     for the in-process harness and the chaos suite; real agents keep the
     defaults, so a planned ``kill`` fault genuinely takes the agent down
     mid-shard — the coordinator's loss accounting is the test subject.
     """
     host, port = address if isinstance(address, tuple) else parse_address(address)
-    deadline = time.monotonic() + connect_timeout
+    seed = os.getpid() if reconnect_seed is None else reconnect_seed
+    attempt = 0
     while True:
-        try:
-            sock = socket.create_connection((host, port), timeout=5.0)
-            break
-        except OSError:
-            if time.monotonic() >= deadline:
-                return 1
-            time.sleep(0.1)
-    sock.setblocking(True)
+        sock = _connect_with_retry(host, port, connect_timeout)
+        if sock is None:
+            # first dial failing is an operator error (status 1); a lost
+            # coordinator that never comes back is a clean end of service
+            return 1 if attempt == 0 else 0
+        outcome = _serve_connection(
+            sock,
+            in_worker=in_worker,
+            execution_lock=execution_lock,
+            result_send_hook=result_send_hook,
+            max_frame_bytes=max_frame_bytes,
+        )
+        if outcome == "bye" or not reconnect:
+            return 0
+        attempt += 1
+        if max_reconnects is not None and attempt > max_reconnects:
+            return 0
+        time.sleep(reconnect_backoff(seed, attempt, backoff_base, backoff_cap))
+
+
+def _serve_connection(
+    sock: socket.socket,
+    *,
+    in_worker: bool,
+    execution_lock: Optional[threading.Lock],
+    result_send_hook: Optional[Callable[[socket.socket, bytes], None]],
+    max_frame_bytes: Optional[int] = None,
+) -> str:
+    """One registered session with a coordinator -> ``"bye"`` | ``"lost"``."""
     hello = {"version": PROTOCOL_VERSION, "pid": os.getpid()}
     specs: Dict[int, Any] = {}
     try:
         send_frame(sock, OP_HELLO, json.dumps(hello).encode("utf-8"))
         while True:
             try:
-                op, payload = recv_frame(sock)
-            except ConnectionError:
-                return 0  # coordinator went away: a clean end of service
+                op, payload = recv_frame(sock, max_frame_bytes=max_frame_bytes)
+            except (ConnectionError, OSError):
+                return "lost"  # coordinator went away mid-session
             if op == OP_BYE:
-                return 0
+                return "bye"
             if op == OP_SPEC:
                 spec_id, spec = pickle.loads(payload)
                 specs = {spec_id: spec}  # spec-once: newest batch only

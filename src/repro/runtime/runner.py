@@ -193,16 +193,28 @@ class BatchReport:
         return json.dumps(self.canonical_dict(), sort_keys=True, separators=(",", ":"))
 
     def summary(self) -> str:
-        lo, hi = self.acceptance_wilson_95()
+        head = (
+            f"{self.protocol_name}: {self.n_runs} runs @ n={self.n} "
+            f"(seed {self.master_seed}, workers={self.workers}) | "
+        )
         degraded = (
             f" | DEGRADED: {len(self.records)}/{self.n_runs} runs survived"
             if self.failures
             else ""
         )
+        if not self.records:
+            # zero survivors (empty batch, or every run dropped under the
+            # degrade policy): rates and per-run times are undefined, so
+            # say that instead of formatting nan into an operator report
+            return (
+                head
+                + f"no surviving runs | {self.wall_clock_total:.2f}s total"
+                + degraded
+            )
+        lo, hi = self.acceptance_wilson_95()
         return (
-            f"{self.protocol_name}: {self.n_runs} runs @ n={self.n} "
-            f"(seed {self.master_seed}, workers={self.workers}) | "
-            f"accept {self.acceptance_rate:.4f} [{lo:.4f}, {hi:.4f}] | "
+            head
+            + f"accept {self.acceptance_rate:.4f} [{lo:.4f}, {hi:.4f}] | "
             f"proof max/mean {self.proof_size_max}/{self.proof_size_mean:.1f} b | "
             f"{self.wall_clock_total:.2f}s total, "
             f"{self.wall_time_per_run * 1000:.1f} ms/run" + degraded

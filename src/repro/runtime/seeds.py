@@ -130,6 +130,24 @@ def retry_jitter(master_seed: int, run_index: int, attempt: int) -> float:
     )
 
 
+def reconnect_jitter(seed: int, attempt: int) -> float:
+    """Deterministic backoff jitter in ``[0, 1)`` for one reconnect attempt.
+
+    The worker-agent analogue of :func:`retry_jitter`: drawn from a
+    dedicated ``"worker-reconnect"`` child stream so an agent's rejoin
+    schedule is replayable from ``(seed, attempt)`` alone — and disjoint
+    from every run-payload stream, so reconnect timing can never perturb
+    a batch's canonical identity.
+    """
+    return (
+        SeedSequence(seed)
+        .child("worker-reconnect")
+        .child(attempt)
+        .rng()
+        .random()
+    )
+
+
 def run_streams(master_seed: int, run_index: int) -> Tuple[int, random.Random]:
     """The per-run ``(instance_seed, protocol_rng)`` pair used by the runner.
 

@@ -1,0 +1,39 @@
+"""Certification-as-a-service: serve proof batches over a socket.
+
+The pieces:
+
+* :mod:`repro.service.wire`   — JSON messages over the shared ``">cI"``
+  frame format; request validation and the idempotency key.
+* :mod:`repro.service.queue`  — bounded admission queue with per-client
+  round-robin fairness.
+* :mod:`repro.service.server` — :class:`ProofServer`, the asyncio server
+  with backpressure, idempotent replay, and graceful drain.
+* :mod:`repro.service.client` — :class:`ServiceClient`, the synchronous
+  client the CLI / benchmarks / chaos harness all use.
+* :mod:`repro.service.chaos`  — seeded misbehaving-client storms.
+
+Start one from the CLI (``repro serve``), submit with ``repro submit``.
+"""
+
+from .client import (
+    RequestFailed,
+    ServiceClient,
+    ServiceError,
+    ServiceResult,
+    ServiceUnavailable,
+)
+from .queue import FairQueue
+from .server import ProofServer
+from .wire import DEFAULT_MAX_FRAME_BYTES, validate_request
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FairQueue",
+    "ProofServer",
+    "RequestFailed",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceResult",
+    "ServiceUnavailable",
+    "validate_request",
+]

@@ -1,0 +1,220 @@
+"""Seeded chaos harness for the proof service.
+
+Drives a fleet of misbehaving clients against a live :class:`ProofServer`
+and records what happened to every request.  All misbehaviour is drawn
+from :class:`~repro.runtime.seeds.SeedSequence` streams keyed by
+``(seed, client, request)``, so a chaos storm replays exactly — the same
+clients drop, stall, and forge in the same places every time.
+
+Behaviours (one roll per request, faulty with probability ``fault_rate``):
+
+* ``clean``      submit and wait; the baseline.
+* ``slow``       the REQUEST frame dribbles out in small chunks (but
+                 finishes inside the server's io timeout) — must succeed.
+* ``disconnect`` send the REQUEST, slam the connection, then reconnect
+                 and resubmit the *same id* — the idempotency invariant
+                 says this must yield the stored result, not a second
+                 execution.
+* ``loris``      send half a frame and stall — the server must cut the
+                 connection at its io deadline, and the request must
+                 never be admitted.
+* ``oversize``   forge a header declaring a payload far past
+                 ``max_frame_bytes`` — the server must answer a typed
+                 wire-error FAIL without allocating.
+* ``kill``       a well-formed request whose *execution* carries an
+                 ``inject_faults`` plan under the retry policy — worker
+                 deaths heal and the result must be byte-identical to
+                 the fault-free reference.
+
+The invariant checks themselves (canonical identity against one-shot
+``run_batch`` references, no leaked requests, server survives) live in
+``tests/test_service_chaos.py``; this module only produces the outcome
+ledger so operators can also run storms by hand.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..runtime.seeds import SeedSequence
+from .client import RequestFailed, ServiceClient, ServiceUnavailable
+from .wire import OP_REQUEST, encode_message, parse_address, send_frame
+
+BEHAVIORS = ("clean", "slow", "disconnect", "loris", "oversize", "kill")
+FAULTY = ("disconnect", "loris", "oversize", "kill")
+
+#: tasks cheap enough that a storm of them finishes in test time
+DEFAULT_TASKS = ("lr_sorting", "path_outerplanarity")
+
+
+class ChaosReport:
+    """The ledger of one chaos storm."""
+
+    def __init__(self, outcomes: List[Dict[str, Any]]):
+        self.outcomes = outcomes
+
+    def by_status(self, status: str) -> List[Dict[str, Any]]:
+        return [o for o in self.outcomes if o["status"] == status]
+
+    @property
+    def completed(self) -> List[Dict[str, Any]]:
+        return self.by_status("completed")
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for o in self.outcomes:
+            out[o["status"]] = out.get(o["status"], 0) + 1
+        return out
+
+    def __repr__(self) -> str:
+        return f"ChaosReport({self.counts})"
+
+
+def _behavior(rng) -> str:
+    if rng.random() < 0.2:
+        return "slow"
+    return "clean"
+
+
+def _request_params(rng, tasks: Sequence[str]) -> Dict[str, Any]:
+    return {
+        "task": tasks[rng.randrange(len(tasks))],
+        "n": (24, 32)[rng.randrange(2)],
+        "runs": 3 + rng.randrange(4),
+        "seed": rng.randrange(1 << 16),
+    }
+
+
+def _send_slow(address, request: Dict[str, Any], chunk: int = 7) -> socket.socket:
+    """Open a socket and dribble the REQUEST frame out in tiny chunks."""
+    payload = encode_message(request)
+    frame = struct.pack(">cI", OP_REQUEST, len(payload)) + payload
+    sock = socket.create_connection(address, timeout=60.0)
+    for i in range(0, len(frame), chunk):
+        sock.sendall(frame[i : i + chunk])
+        time.sleep(0.002)
+    return sock
+
+
+def run_chaos(
+    address: Union[str, Tuple[str, int]],
+    *,
+    seed: int = 0,
+    clients: int = 3,
+    requests_per_client: int = 4,
+    fault_rate: float = 0.15,
+    tasks: Sequence[str] = DEFAULT_TASKS,
+    failure_policy: str = "retry",
+    busy_attempts: int = 8,
+) -> ChaosReport:
+    """One deterministic chaos storm -> :class:`ChaosReport`.
+
+    Clients run sequentially here (the server serialises execution on
+    its lane anyway); concurrency-specific behaviour is exercised by the
+    threaded tests.  ``fault_rate`` is the per-request probability of a
+    misbehaving roll, 15% in the acceptance matrix.
+    """
+    address = parse_address(address) if isinstance(address, str) else tuple(address)
+    root = SeedSequence(seed)
+    outcomes: List[Dict[str, Any]] = []
+    for client_idx in range(clients):
+        client = ServiceClient(address, client_id=f"chaos-{client_idx}")
+        for req_idx in range(requests_per_client):
+            rng = root.child(client_idx).child(req_idx).rng()
+            behavior = (
+                FAULTY[rng.randrange(len(FAULTY))]
+                if rng.random() < fault_rate
+                else _behavior(rng)
+            )
+            params = _request_params(rng, tasks)
+            outcome = _run_one(
+                client, address, behavior, params, rng,
+                failure_policy=failure_policy, busy_attempts=busy_attempts,
+            )
+            outcome.update(client=client_idx, index=req_idx, behavior=behavior)
+            outcomes.append(outcome)
+    return ChaosReport(outcomes)
+
+
+def _run_one(
+    client: ServiceClient,
+    address: Tuple[str, int],
+    behavior: str,
+    params: Dict[str, Any],
+    rng,
+    *,
+    failure_policy: str,
+    busy_attempts: int,
+) -> Dict[str, Any]:
+    build_kwargs: Dict[str, Any] = dict(params)
+    if behavior == "kill":
+        # faults live in the execution, not the connection: raise-kind
+        # faults degrade-from-kill on serial lanes and genuinely kill
+        # pool workers; either way retry must heal byte-identically
+        build_kwargs.update(
+            failure_policy=failure_policy,
+            max_retries=4,
+            inject_faults=f"rate=0.3,kinds=raise,seed={rng.randrange(1 << 16)},fires=1",
+        )
+    task = build_kwargs.pop("task")
+    request = client.build_request(task, **build_kwargs)
+    base = {"id": request["id"], "request": request, "canonical": None}
+
+    try:
+        if behavior in ("clean", "kill"):
+            result = client.submit_with_retry(request, attempts=busy_attempts)
+        elif behavior == "slow":
+            sock = _send_slow(address, request)
+            try:
+                result = client._read_outcome(sock, request["id"])
+            finally:
+                sock.close()
+        elif behavior == "disconnect":
+            # fire the request, slam the socket before any frame returns,
+            # then resubmit the same id on a fresh connection
+            sock = socket.create_connection(address, timeout=30.0)
+            send_frame(sock, OP_REQUEST, encode_message(request))
+            sock.close()
+            time.sleep(0.01)
+            result = client.submit_with_retry(request, attempts=busy_attempts)
+        elif behavior == "loris":
+            payload = encode_message(request)
+            frame = struct.pack(">cI", OP_REQUEST, len(payload)) + payload
+            sock = socket.create_connection(address, timeout=30.0)
+            sock.sendall(frame[: max(1, len(frame) // 2)])
+            # never send the rest; the server's io deadline reaps us
+            sock.close()
+            return {**base, "status": "dropped"}
+        elif behavior == "oversize":
+            sock = socket.create_connection(address, timeout=30.0)
+            sock.sendall(struct.pack(">cI", OP_REQUEST, (1 << 31) + 17))
+            try:
+                from .wire import SERVICE_OPS, recv_frame
+
+                op, payload = recv_frame(sock, known_ops=SERVICE_OPS)
+                status = "rejected" if op == b"F" else "error"
+            except (ConnectionError, OSError):
+                status = "rejected"  # server cut us off; also acceptable
+            finally:
+                sock.close()
+            return {**base, "status": status}
+        else:  # pragma: no cover - exhaustive over BEHAVIORS
+            raise ValueError(f"unknown behavior {behavior!r}")
+    except ServiceUnavailable as exc:
+        return {**base, "status": "busy" if exc.kind == "busy" else "draining"}
+    except RequestFailed as exc:
+        return {**base, "status": "failed", "fault": exc.fault, "error": exc.error}
+    except (ConnectionError, OSError) as exc:
+        return {**base, "status": "error", "error": repr(exc)}
+    return {
+        **base,
+        "status": "completed",
+        "canonical": result.canonical_json(),
+        "ack_status": result.ack_status,
+        "degraded": result.degraded,
+        "ok": result.ok,
+    }

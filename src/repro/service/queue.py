@@ -1,0 +1,80 @@
+"""Bounded admission queue with per-client round-robin fairness.
+
+Admission control is the service's first robustness line: the queue has
+a hard global bound (``offer`` returns ``None`` past it — the caller
+answers BUSY with a Retry-After hint instead of buffering without
+limit), and dispatch is round-robin *across clients*, so a client that
+floods 50 requests cannot starve one that sent a single request — the
+singleton is at worst one full rotation away.
+
+The queue is deliberately lock-free: every method is called from the
+server's event-loop thread only (the asyncio handlers and the
+dispatcher coroutine all live there).  The execution *lane* runs on
+another thread, but it never touches the queue — the dispatcher hands
+jobs over one at a time.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Any, Deque, List, Optional
+
+
+class FairQueue:
+    """FIFO per client, round-robin across clients, bounded overall."""
+
+    def __init__(self, limit: int = 16):
+        if limit < 1:
+            raise ValueError("queue limit must be >= 1")
+        self.limit = limit
+        #: client id -> that client's FIFO of queued jobs; OrderedDict so
+        #: the rotation order is deterministic (insertion order of first
+        #: pending request per client)
+        self._lanes: "OrderedDict[str, Deque[Any]]" = OrderedDict()
+        self._depth = 0
+
+    def depth(self) -> int:
+        return self._depth
+
+    def __len__(self) -> int:
+        return self._depth
+
+    def clients(self) -> List[str]:
+        return list(self._lanes)
+
+    def offer(self, client_id: str, job: Any) -> Optional[int]:
+        """Admit ``job`` for ``client_id`` -> queue position, or ``None``
+        when the global bound is hit (caller sends BUSY)."""
+        if self._depth >= self.limit:
+            return None
+        lane = self._lanes.get(client_id)
+        if lane is None:
+            lane = self._lanes[client_id] = deque()
+        lane.append(job)
+        self._depth += 1
+        return self._depth
+
+    def next(self) -> Optional[Any]:
+        """Pop the next job round-robin, or ``None`` when empty.
+
+        The serviced client rotates to the back of the order, so heavy
+        clients interleave with light ones instead of draining first.
+        """
+        if not self._lanes:
+            return None
+        client_id, lane = next(iter(self._lanes.items()))
+        job = lane.popleft()
+        del self._lanes[client_id]
+        if lane:
+            self._lanes[client_id] = lane  # re-append: back of the rotation
+        self._depth -= 1
+        return job
+
+    def drain_all(self) -> List[Any]:
+        """Remove and return every queued job (forced-drain path)."""
+        jobs: List[Any] = []
+        while self._lanes:
+            job = self.next()
+            if job is not None:
+                jobs.append(job)
+        return jobs

@@ -472,3 +472,167 @@ class TestRemoteLifecycle:
         worker.join(timeout=5)
         assert worker.exit_status == 0
         assert worker.error is None
+
+
+# ---------------------------------------------------------------------------
+# frame limits and worker reconnect (service-era hardening)
+# ---------------------------------------------------------------------------
+
+
+class TestFrameLimits:
+    def test_forged_2gib_header_rejected_before_allocation(self):
+        """Regression: a forged header declaring a 2 GiB payload must be
+        refused on the declared length alone — typed, and without the
+        receiver ever trying to buffer the body."""
+        from repro.runtime.remote import WireError
+
+        a, b = socket.socketpair()
+        try:
+            a.sendall(__import__("struct").pack(">cI", OP_SPEC, (1 << 31) + 17))
+            with pytest.raises(WireError, match="frame too large"):
+                recv_frame(b, max_frame_bytes=1 << 24)
+        finally:
+            a.close()
+            b.close()
+
+    def test_frame_buffer_limit_is_configurable(self):
+        from repro.runtime.remote import WireError, _encode_frame
+
+        buf = _FrameBuffer(max_frame_bytes=16)
+        with pytest.raises(WireError):
+            buf.feed(__import__("struct").pack(">cI", OP_SPEC, 17))
+        # at the limit is fine
+        ok = _FrameBuffer(max_frame_bytes=16)
+        frames = ok.feed(_encode_frame(OP_SPEC, b"x" * 16))
+        assert frames == [(OP_SPEC, b"x" * 16)]
+
+    def test_send_side_enforces_the_same_limit(self):
+        from repro.runtime.remote import WireError, _encode_frame
+
+        with pytest.raises(WireError):
+            _encode_frame(OP_SPEC, b"x" * 17, max_frame_bytes=16)
+
+    def test_wire_error_is_a_protocol_error(self):
+        from repro.runtime.remote import WireError
+
+        assert issubclass(WireError, RemoteProtocolError)
+
+
+class TestWorkerReconnect:
+    def test_backoff_is_deterministic_capped_and_jittered(self):
+        from repro.runtime.remote import reconnect_backoff
+
+        series = [reconnect_backoff(7, a, 0.05, 2.0) for a in range(1, 12)]
+        again = [reconnect_backoff(7, a, 0.05, 2.0) for a in range(1, 12)]
+        assert series == again  # replayable
+        other = [reconnect_backoff(8, a, 0.05, 2.0) for a in range(1, 12)]
+        assert series != other  # fleet does not thunder in lockstep
+        for attempt, delay in enumerate(series, start=1):
+            raw = min(0.05 * 2 ** (attempt - 1), 2.0)
+            assert 0.5 * raw <= delay < raw
+        assert max(series) < 2.0  # cap holds forever
+
+    def test_dropped_connection_rejoins_then_bye_ends_service(self):
+        """The reconnect loop end-to-end: the coordinator slams the first
+        connection, the agent backs off and rejoins, BYE ends with 0."""
+        import json as _json
+        import threading as _threading
+
+        from repro.runtime.remote import OP_BYE, serve_worker
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(2)
+        port = listener.getsockname()[1]
+        hellos = []
+
+        def _coordinator():
+            first, _ = listener.accept()
+            op, payload = recv_frame(first)
+            hellos.append((op, _json.loads(payload.decode("utf-8"))))
+            first.close()  # drop without BYE -> agent must come back
+            second, _ = listener.accept()
+            op, payload = recv_frame(second)
+            hellos.append((op, _json.loads(payload.decode("utf-8"))))
+            send_frame(second, OP_BYE, b"{}")
+            second.close()
+
+        coord = _threading.Thread(target=_coordinator, daemon=True)
+        coord.start()
+        status = serve_worker(
+            ("127.0.0.1", port),
+            connect_timeout=10.0,
+            in_worker=False,
+            reconnect=True,
+            backoff_base=0.01,
+            backoff_cap=0.05,
+            reconnect_seed=3,
+        )
+        coord.join(timeout=10.0)
+        listener.close()
+        assert status == 0
+        assert [op for op, _ in hellos] == [OP_HELLO, OP_HELLO]
+        assert hellos[0][1]["pid"] == hellos[1][1]["pid"]
+
+    def test_gives_up_after_max_reconnects(self):
+        from repro.runtime.remote import serve_worker
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        port = listener.getsockname()[1]
+        drops = {"n": 0}
+        stop = False
+
+        def _coordinator():
+            while not stop:
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    return
+                recv_frame(conn)
+                drops["n"] += 1
+                conn.close()
+
+        import threading as _threading
+
+        coord = _threading.Thread(target=_coordinator, daemon=True)
+        coord.start()
+        status = serve_worker(
+            ("127.0.0.1", port),
+            connect_timeout=5.0,
+            in_worker=False,
+            reconnect=True,
+            max_reconnects=2,
+            backoff_base=0.01,
+            backoff_cap=0.02,
+            reconnect_seed=5,
+        )
+        stop = True
+        listener.close()
+        coord.join(timeout=5.0)
+        assert status == 0
+        assert drops["n"] == 3  # initial dial + two reconnects, then give up
+
+    def test_non_reconnect_agent_still_exits_on_drop(self):
+        from repro.runtime.remote import serve_worker
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        import threading as _threading
+
+        def _coordinator():
+            conn, _ = listener.accept()
+            recv_frame(conn)
+            conn.close()
+
+        coord = _threading.Thread(target=_coordinator, daemon=True)
+        coord.start()
+        status = serve_worker(
+            ("127.0.0.1", port), connect_timeout=5.0, in_worker=False)
+        coord.join(timeout=5.0)
+        listener.close()
+        assert status == 0

@@ -310,6 +310,30 @@ class TestReportFormatting:
         lo, hi = report.rejection_wilson_95()
         assert math.isnan(lo) and math.isnan(hi)
         assert report.proof_size_max == 0
-        # the renderings must not raise on an empty report
-        assert "nan" in report.summary()
+        # the renderings must not raise on an empty report — and must say
+        # what happened instead of formatting nan at an operator
+        assert report.summary() == (
+            "path-outerplanarity: 4 runs @ n=64 (seed 7, workers=2) | "
+            "no surviving runs | 1.50s total"
+        )
+        assert "nan" not in report.summary()
         assert report.failure_table() == "no failures"
+
+    def test_all_runs_dropped_summary_golden(self):
+        """A degraded report where every run failed renders sensibly."""
+        from repro.runtime.resilience import FailureRecord
+
+        failures = [
+            FailureRecord(index=i, fault="timeout", attempts=3, elapsed=0.5,
+                          error=f"RunTimeoutError('run {i}')")
+            for i in range(4)
+        ]
+        report = self._report(records=False, failures=failures)
+        assert report.summary() == (
+            "path-outerplanarity: 4 runs @ n=64 (seed 7, workers=2) | "
+            "no surviving runs | 1.50s total | DEGRADED: 0/4 runs survived"
+        )
+        assert "nan" not in report.summary()
+        table = report.failure_table()
+        assert table.count("\n") == 4  # header + one row per dropped run
+        assert "RunTimeoutError('run 3')" in table

@@ -1,0 +1,142 @@
+"""Chaos acceptance matrix: misbehaving clients vs. a live ProofServer.
+
+The acceptance invariant (E15): under a seeded storm with a 15% fault
+rate, every request that completes returns a canonical report
+byte-identical to the one-shot ``run_batch`` reference for its
+parameters, no request leaks (every outcome has a terminal status and
+the server's ledger balances), and the server survives to serve a clean
+request afterwards.
+"""
+
+import contextlib
+import threading
+
+import pytest
+
+from repro.analysis.experiments import run_batch
+from repro.runtime import registry
+from repro.service.chaos import FAULTY, run_chaos
+from repro.service.client import ServiceClient
+from repro.service.server import ProofServer
+
+# found by searching SeedSequence rolls: covers kill + disconnect + slow
+# at the 15% acceptance-matrix rate across 3 clients x 5 requests
+STORM_SEED_15 = 18
+# 1 client x 8 requests at rate=1.0 covers all four faulty behaviors
+STORM_SEED_ALL_FAULTY = 2
+
+
+@contextlib.contextmanager
+def service(**kwargs):
+    server = ProofServer(**kwargs)
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    assert server.wait_ready(10.0), "server never bound its listener"
+    try:
+        yield server, (server.host, server.bound_port)
+    finally:
+        server.request_drain()
+        thread.join(timeout=60.0)
+        assert not thread.is_alive(), "server failed to drain"
+
+
+def _reference_json(request):
+    """One-shot fault-free reference for a chaos request's parameters."""
+    spec = registry.get_task(request["task"])
+    report = run_batch(
+        spec.protocol(c=request["c"]),
+        spec.yes_factory,
+        n_runs=request["runs"],
+        n=request["n"],
+        seed=request["seed"],
+    )
+    return report.canonical_json()
+
+
+def _check_storm(server, report):
+    # every completed request is byte-identical to its one-shot reference
+    assert report.completed, f"storm produced no completions: {report.counts}"
+    for outcome in report.completed:
+        assert outcome["canonical"] == _reference_json(outcome["request"]), (
+            f"service result diverged for {outcome['request']}"
+        )
+        assert outcome["ok"] and not outcome["degraded"]
+    # no leaked requests: every outcome reached a terminal status and the
+    # server's job ledger holds only finished work
+    terminal = {"completed", "dropped", "rejected", "failed", "busy"}
+    assert {o["status"] for o in report.outcomes} <= terminal
+    assert all(job.state == "done" for job in server._jobs.values())
+    assert server._queue.depth() == 0
+
+
+class TestChaosStorm:
+    def test_acceptance_matrix_15_percent(self):
+        with service(queue_limit=32) as (server, addr):
+            report = run_chaos(
+                addr, seed=STORM_SEED_15, clients=3, requests_per_client=5,
+                fault_rate=0.15,
+            )
+            _check_storm(server, report)
+            behaviors = {o["behavior"] for o in report.outcomes}
+            assert "kill" in behaviors and "disconnect" in behaviors
+            # disconnect resubmits the same id; the replay/attach path
+            # means the server never executed it twice
+            for o in report.outcomes:
+                if o["behavior"] == "disconnect" and o["status"] == "completed":
+                    assert o["ack_status"] in ("replay", "attached", "queued")
+            # the server survives the storm and still serves honest work
+            probe = ServiceClient(addr, client_id="probe").submit(
+                "lr_sorting", runs=2, n=24, seed=99)
+            assert probe.ok
+
+    def test_all_faulty_behaviors_survive(self):
+        with service(queue_limit=32, io_timeout=0.5) as (server, addr):
+            report = run_chaos(
+                addr, seed=STORM_SEED_ALL_FAULTY, clients=1,
+                requests_per_client=8, fault_rate=1.0,
+            )
+            assert {o["behavior"] for o in report.outcomes} == set(FAULTY)
+            _check_storm(server, report)
+            # loris connections were reaped, oversize forgeries rejected
+            assert report.by_status("dropped")
+            assert report.by_status("rejected")
+            assert server.stats["wire_errors"] >= 1
+            probe = ServiceClient(addr, client_id="probe").submit(
+                "lr_sorting", runs=2, n=24, seed=7)
+            assert probe.ok
+
+    def test_storm_replays_deterministically(self):
+        with service(queue_limit=32) as (server, addr):
+            first = run_chaos(addr, seed=STORM_SEED_15, clients=2,
+                              requests_per_client=3, fault_rate=0.15)
+        with service(queue_limit=32) as (server, addr):
+            again = run_chaos(addr, seed=STORM_SEED_15, clients=2,
+                              requests_per_client=3, fault_rate=0.15)
+        assert [o["behavior"] for o in first.outcomes] == \
+               [o["behavior"] for o in again.outcomes]
+        assert [o["canonical"] for o in first.completed] == \
+               [o["canonical"] for o in again.completed]
+
+
+@pytest.mark.slow
+class TestChaosPoolBackend:
+    def test_kill_faults_heal_byte_identically_on_pool(self):
+        """Real worker kills: the process pool loses a worker mid-batch,
+        the retry policy respawns and heals, and the served report is
+        byte-identical to the fault-free serial reference."""
+        with service(backend="process", workers=2, queue_limit=8) as (
+                server, addr):
+            client = ServiceClient(addr, client_id="pool", timeout=300.0)
+            res = client.submit(
+                "lr_sorting", runs=6, n=32, seed=21,
+                failure_policy="retry", max_retries=4,
+                inject_faults="at=2:kill",
+            )
+        assert res.ok and not res.degraded
+        ref = run_batch(
+            registry.get_task("lr_sorting").protocol(c=2),
+            registry.get_task("lr_sorting").yes_factory,
+            n_runs=6, n=32, seed=21,
+        )
+        assert res.canonical_json() == ref.canonical_json()
+        assert res.meta["backend"]["backend"] == "process"
