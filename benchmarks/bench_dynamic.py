@@ -1,0 +1,76 @@
+"""E16-bench: incremental re-certification throughput under edge churn.
+
+One seeded churn campaign per ``(task, stream kind)`` through the
+dynamic driver (:mod:`repro.dynamic`), recorded in ``BENCH_dynamic.json``:
+
+* epochs/sec (full proofs per second of wall clock, warm caches),
+* mean / median labels changed per update and the full label count,
+* mean wire bits re-sent per update vs a full re-proof's bits,
+* soundness (every epoch's verdict must match the ground-truth
+  predicate on the churned graph).
+
+The one asserted invariant mirrors the PR acceptance bar: for a
+predicate-preserving stream the mean labels changed per update is
+*strictly below* the full label count — incremental maintenance must
+beat re-sending the whole certificate.
+
+    pytest benchmarks/bench_dynamic.py -q
+    REPRO_BENCH_QUICK=1 pytest benchmarks/bench_dynamic.py -q   # smoke
+"""
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.analysis.churn import cell_from_report
+from repro.dynamic import ChurnCampaignSpec, run_campaign
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+N = 24 if QUICK else 64
+UPDATES = 12 if QUICK else 100
+SEED = 7
+CAMPAIGNS = (
+    ("planarity", "preserving"),
+    ("planarity", "crossing"),
+    ("outerplanarity", "preserving"),
+)
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_dynamic.json"
+
+
+def test_bench_dynamic():
+    results = []
+    for task, stream in CAMPAIGNS:
+        spec = ChurnCampaignSpec(
+            task=task, n=N, seed=SEED, n_updates=UPDATES, stream=stream
+        )
+        started = time.perf_counter()
+        report = run_campaign(spec)
+        elapsed = time.perf_counter() - started
+        cell = cell_from_report(report)
+        assert report.all_sound, report.summary()
+        if stream == "preserving":
+            assert cell.mean_labels_changed < cell.full_labels, (
+                f"{task}: incremental churn must beat a full re-proof "
+                f"({cell.mean_labels_changed} vs {cell.full_labels} labels)"
+            )
+        results.append(
+            {
+                **cell.as_dict(),
+                "epochs": report.n_epochs,
+                "epochs_per_sec": report.n_epochs / elapsed if elapsed else None,
+                "wall_clock_s": elapsed,
+            }
+        )
+    payload = {
+        "bench": "dynamic",
+        "quick": QUICK,
+        "n": N,
+        "n_updates": UPDATES,
+        "seed": SEED,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "campaigns": results,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -48,7 +48,7 @@ class ClusteringScheme:
         contracted = Graph(len(partition))
         for u, v in graph.edges():
             cu, cv = cluster_of[u], cluster_of[v]
-            if cu != cv:
+            if cu != cv and not contracted.has_edge(cu, cv):
                 contracted.add_edge(cu, cv)
         return is_planar(contracted)
 

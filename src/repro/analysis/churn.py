@@ -1,0 +1,159 @@
+"""Label-churn analysis: incremental re-certification vs full re-proof.
+
+The question Feuilloley-style compact certification asks of a dynamic
+instance: when one edge changes, how much of the certificate changes?
+This module batches churn campaigns (:mod:`repro.dynamic`) across
+``task x stream kind x n`` and aggregates, per cell, the distribution of
+labels changed per update (quartiles over epochs), the wire bits the
+prover must re-send, and the cost of the alternative — a full re-proof
+re-transmits every node's labels every epoch.
+
+The resulting matrix is the E16 experiment: ``churn_ratio`` below 1.0
+means incremental maintenance beats re-proof on label traffic, and the
+per-``n`` curve shows whether the advantage survives scale.  All numbers
+come from canonical campaign reports, so a matrix cell is reproducible
+from ``(task, stream, n, seed)`` alone.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..dynamic.driver import ChurnCampaignSpec, ChurnReport, run_campaign
+from ..dynamic.updates import DYNAMIC_TASKS, STREAM_KINDS
+
+
+def quartiles(values: Sequence[float]) -> Tuple[float, float, float]:
+    """``(q1, median, q3)`` by linear interpolation (empty -> zeros)."""
+    if not values:
+        return (0.0, 0.0, 0.0)
+    ordered = sorted(values)
+
+    def at(q: float) -> float:
+        pos = q * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    return (at(0.25), at(0.5), at(0.75))
+
+
+@dataclass
+class ChurnCell:
+    """One ``(task, stream, n)`` cell of the churn matrix."""
+
+    task: str
+    stream: str
+    n: int
+    seed: int
+    n_updates: int
+    labels_changed_q: Tuple[float, float, float]
+    mean_labels_changed: float
+    mean_wire_bits_changed: float
+    #: labels a full re-proof would re-send per epoch (= n, one per node)
+    full_labels: int
+    #: mean wire bits of a complete epoch-0-style proof
+    full_wire_bits: float
+    all_sound: bool
+
+    @property
+    def churn_ratio(self) -> float:
+        """Mean labels changed per update over the full label count."""
+        return self.mean_labels_changed / self.full_labels if self.full_labels else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "task": self.task,
+            "stream": self.stream,
+            "n": self.n,
+            "seed": self.seed,
+            "n_updates": self.n_updates,
+            "labels_changed_q1": self.labels_changed_q[0],
+            "labels_changed_median": self.labels_changed_q[1],
+            "labels_changed_q3": self.labels_changed_q[2],
+            "mean_labels_changed": self.mean_labels_changed,
+            "mean_wire_bits_changed": self.mean_wire_bits_changed,
+            "full_labels": self.full_labels,
+            "full_wire_bits": self.full_wire_bits,
+            "churn_ratio": self.churn_ratio,
+            "all_sound": self.all_sound,
+        }
+
+
+def cell_from_report(report: ChurnReport) -> ChurnCell:
+    """Aggregate one finished campaign into a matrix cell."""
+    updates = [r for r in report.records if r.epoch > 0]
+    changed = [r.labels_changed for r in updates]
+    init = next((r for r in report.records if r.epoch == 0), None)
+    return ChurnCell(
+        task=report.spec.task,
+        stream=report.spec.stream,
+        n=report.spec.n,
+        seed=report.spec.seed,
+        n_updates=len(updates),
+        labels_changed_q=quartiles(changed),
+        mean_labels_changed=report.mean_labels_changed,
+        mean_wire_bits_changed=(
+            sum(r.wire_bits_changed for r in updates) / len(updates)
+            if updates
+            else 0.0
+        ),
+        full_labels=report.labels_total,
+        full_wire_bits=float(init.wire_bits_changed) if init else 0.0,
+        all_sound=report.all_sound,
+    )
+
+
+@dataclass
+class ChurnMatrix:
+    """The full task x stream x n sweep."""
+
+    cells: List[ChurnCell] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"cells": [c.as_dict() for c in self.cells]}
+
+    def to_json(self, path: str) -> None:
+        with open(path, "w") as f:
+            json.dump(self.as_dict(), f, indent=2, sort_keys=True)
+
+
+def churn_matrix(
+    tasks: Optional[Sequence[str]] = None,
+    ns: Sequence[int] = (16, 32, 64),
+    streams: Sequence[str] = STREAM_KINDS,
+    n_updates: int = 50,
+    seed: int = 0,
+    workers: int = 0,
+) -> ChurnMatrix:
+    """Run one campaign per ``(task, stream, n)`` cell and aggregate."""
+    matrix = ChurnMatrix()
+    for task in tasks if tasks is not None else sorted(DYNAMIC_TASKS):
+        for stream in streams:
+            for n in ns:
+                spec = ChurnCampaignSpec(
+                    task=task, n=n, seed=seed, n_updates=n_updates, stream=stream
+                )
+                report = run_campaign(spec, workers=workers)
+                matrix.cells.append(cell_from_report(report))
+    return matrix
+
+
+def format_table(matrix: ChurnMatrix) -> str:
+    """An aligned text table of the churn matrix (the E16 artifact)."""
+    header = (
+        f"{'task':<18} {'stream':<10} {'n':>5} {'q1':>6} {'med':>6} "
+        f"{'q3':>6} {'mean':>7} {'full':>5} {'ratio':>6} {'sound':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for c in matrix.cells:
+        q1, med, q3 = c.labels_changed_q
+        lines.append(
+            f"{c.task:<18} {c.stream:<10} {c.n:>5} {q1:>6.1f} {med:>6.1f} "
+            f"{q3:>6.1f} {c.mean_labels_changed:>7.2f} {c.full_labels:>5} "
+            f"{c.churn_ratio:>6.2f} {'yes' if c.all_sound else 'NO':>6}"
+        )
+    return "\n".join(lines)

@@ -67,7 +67,7 @@ import sys
 from typing import Optional
 
 from .analysis.experiments import run_batch, size_sweep
-from .core.network import Graph
+from .core.network import Graph, norm_edge
 from .graphs.generators import random_nonplanar
 from .protocols.instances import PathOuterplanarInstance
 from .runtime import registry
@@ -199,6 +199,7 @@ def _tasks():
 
 def _load_graph(path: str) -> Graph:
     edges = []
+    seen = set()
     max_node = -1
     with open(path) as f:
         for line in f:
@@ -206,6 +207,9 @@ def _load_graph(path: str) -> Graph:
             if not line:
                 continue
             u, v = (int(x) for x in line.split()[:2])
+            if norm_edge(u, v) in seen:  # edge lists repeat both directions
+                continue
+            seen.add(norm_edge(u, v))
             edges.append((u, v))
             max_node = max(max_node, u, v)
     return Graph(max_node + 1, edges)
@@ -587,6 +591,76 @@ def cmd_submit(args) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_dynamic(args) -> int:
+    from .dynamic import DYNAMIC_TASKS, ChurnCampaignSpec, run_campaign
+    from .obs.journal import Journal
+
+    task = registry.canonical_name(args.task)
+    if task not in DYNAMIC_TASKS:
+        print(
+            f"task {args.task!r} does not support dynamic certification; "
+            f"choose from {sorted(DYNAMIC_TASKS)}"
+        )
+        return 2
+    spec = ChurnCampaignSpec(
+        task=task,
+        n=args.n,
+        seed=args.seed,
+        n_updates=args.updates,
+        stream=args.stream,
+        c=args.c,
+    )
+    if args.connect:
+        return _dynamic_over_service(args, spec)
+    journal = Journal(args.journal) if args.journal else None
+    try:
+        report = run_campaign(
+            spec,
+            workers=args.workers,
+            chunk_size=args.chunk,
+            verify_full=args.verify_full,
+            journal=journal,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(report.canonical_dict(), f, indent=2, sort_keys=True)
+        print(f"report:      {args.json}")
+    return 0 if report.all_sound else 1
+
+
+def _dynamic_over_service(args, spec) -> int:
+    """Drive the same campaign through a live server's UPDATE path."""
+    from .dynamic import campaign_stream, initial_graph
+    from .service.client import RequestFailed, ServiceClient, ServiceUnavailable
+
+    client = ServiceClient(args.connect, client_id="cli-dynamic")
+    stream = campaign_stream(spec, initial_graph(spec))
+    try:
+        target = client.submit(
+            spec.task, runs=1, n=spec.n, seed=spec.seed, c=spec.c
+        )
+        result = client.submit_update(target.id, [u for u, _ in stream])
+    except ServiceUnavailable as exc:
+        print(f"service {exc.kind}; retry later")
+        return 3 if exc.kind == "busy" else 4
+    except RequestFailed as exc:
+        print(f"update failed ({exc.fault}): {exc.error}")
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach service at {args.connect}: {exc}")
+        return 2
+    print(result.summary)
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(result.report, f, indent=2, sort_keys=True)
+        print(f"report:      {args.json}")
+    return 0 if result.ok else 1
+
+
 def cmd_attack(args) -> int:
     from .lowerbound import CutAndPasteAttack, TruncatedPositionScheme
     from .lowerbound.cut_and_paste import views_preserved
@@ -806,6 +880,43 @@ def main(argv=None) -> int:
     p_submit.add_argument("--json", help="write request + canonical report to this file")
     _add_resilience_args(p_submit)
     p_submit.set_defaults(func=cmd_submit)
+
+    p_dynamic = sub.add_parser(
+        "dynamic",
+        help="churn campaign: re-certify a long-lived instance per edge update",
+    )
+    p_dynamic.add_argument(
+        "task", help="a task with a dynamic predicate (e.g. planarity)"
+    )
+    p_dynamic.add_argument("--n", type=int, default=64)
+    p_dynamic.add_argument("--seed", type=int, default=0)
+    p_dynamic.add_argument("--updates", type=int, default=100, metavar="K",
+                           help="update-stream length (default: 100)")
+    p_dynamic.add_argument(
+        "--stream", choices=("preserving", "crossing"), default="preserving",
+        help="churn kind: predicate-preserving or boundary-crossing",
+    )
+    p_dynamic.add_argument("--c", type=int, default=2, help="soundness constant")
+    p_dynamic.add_argument(
+        "--workers", type=int, default=0,
+        help="shard the epoch range over worker processes (default: serial)",
+    )
+    p_dynamic.add_argument(
+        "--chunk", type=int, default=None, metavar="K",
+        help="epochs per pool shard (default: one shard per worker)",
+    )
+    p_dynamic.add_argument(
+        "--verify-full", action="store_true",
+        help="re-prove every epoch from scratch and fail on any divergence",
+    )
+    p_dynamic.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="drive the campaign through a live proof service's UPDATE path",
+    )
+    p_dynamic.add_argument("--journal", default=None, metavar="PATH",
+                           help="write campaign events to this JSONL file")
+    p_dynamic.add_argument("--json", help="write the canonical report to this file")
+    p_dynamic.set_defaults(func=cmd_dynamic)
 
     p_attack = sub.add_parser("attack", help="Theorem 1.8 cut-and-paste attack")
     p_attack.add_argument("--n", type=int, default=1024)

@@ -48,17 +48,26 @@ class Graph:
     # -- mutation ---------------------------------------------------------
 
     def add_edge(self, u: int, v: int) -> None:
+        """Insert the edge ``(u, v)``.
+
+        Raises ``ValueError`` on out-of-range endpoints, self-loops, and
+        duplicate edges — symmetric to :meth:`remove_edge` rejecting a
+        missing edge, so a reverted update stream round-trips exactly.
+        Callers that merge possibly-parallel edges (contractions) guard
+        with :meth:`has_edge` or build via :meth:`from_edge_list`.
+        """
         self._check_node(u)
         self._check_node(v)
         if u == v:
             raise ValueError(f"self-loop at node {u}")
-        if v not in self._adj[u]:
-            self._adj[u].add(v)
-            self._adj[v].add(u)
-            self._m += 1
-            self._nbrs = None
-            self._edges = None
-            self._eset = None
+        if v in self._adj[u]:
+            raise ValueError(f"edge ({u}, {v}) already in graph")
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._m += 1
+        self._nbrs = None
+        self._edges = None
+        self._eset = None
 
     @classmethod
     def from_edge_list(cls, n: int, edges: Iterable[Edge]) -> "Graph":

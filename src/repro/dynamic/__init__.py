@@ -1,0 +1,47 @@
+"""Dynamic certification: long-lived instances under seeded edge churn."""
+
+from .driver import (
+    ChurnCampaignSpec,
+    ChurnReport,
+    EpochRecord,
+    diff_signatures,
+    epoch_rng,
+    initial_graph,
+    campaign_stream,
+    instance_seed,
+    node_signatures,
+    run_campaign,
+    stream_rng,
+)
+from .updates import (
+    DYNAMIC_TASKS,
+    STREAM_KINDS,
+    EdgeDelete,
+    EdgeInsert,
+    apply_stream,
+    generate_stream,
+    inverse_stream,
+    update_from_tuple,
+)
+
+__all__ = [
+    "ChurnCampaignSpec",
+    "ChurnReport",
+    "EpochRecord",
+    "DYNAMIC_TASKS",
+    "STREAM_KINDS",
+    "EdgeDelete",
+    "EdgeInsert",
+    "apply_stream",
+    "campaign_stream",
+    "diff_signatures",
+    "epoch_rng",
+    "generate_stream",
+    "initial_graph",
+    "instance_seed",
+    "inverse_stream",
+    "node_signatures",
+    "run_campaign",
+    "stream_rng",
+    "update_from_tuple",
+]

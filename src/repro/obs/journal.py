@@ -30,7 +30,9 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional
 
-#: every event type a journal can carry, in stream order
+#: every event type a journal can carry, in stream order; the
+#: ``campaign_*`` / ``epoch`` triple is the dynamic-certification
+#: analogue of ``batch_start`` / ``run_*`` / ``batch_end``
 EVENT_TYPES = (
     "batch_start",
     "run_start",
@@ -38,6 +40,9 @@ EVENT_TYPES = (
     "run_end",
     "run_failure",
     "batch_end",
+    "campaign_start",
+    "epoch",
+    "campaign_end",
 )
 
 #: per-event keys that carry wall-clock measurements (layout-dependent);

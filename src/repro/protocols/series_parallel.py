@@ -165,7 +165,8 @@ class SeriesParallelProtocol(DIPProtocol):
                 a, b = sorted((index[u], index[v]))
                 if b - a <= 1:
                     continue  # spans a path edge or a single node: trivial
-                aux.add_edge(a, b)
+                if not aux.has_edge(a, b):
+                    aux.add_edge(a, b)
                 if (a, b) not in chord_carriers:
                     # the virtual chord's labels ride on the ear's interior
                     chord_carriers[(a, b)] = tuple(e.interior) or (u,)

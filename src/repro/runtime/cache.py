@@ -59,6 +59,16 @@ class InstanceCache:
                 value = self._store[key]
         return value
 
+    def invalidate(self, key: CacheKey) -> bool:
+        """Drop one cached instance (e.g. before handing it to a mutator).
+
+        Returns True if the key was present.  The alternative to
+        :meth:`CachedFactory.checkout_seeded` when an instance is too
+        large to deep-copy: evict it so the next build starts fresh.
+        """
+        with self._lock:
+            return self._store.pop(key, None) is not None
+
     def __len__(self) -> int:
         return len(self._store)
 
@@ -114,6 +124,18 @@ class CachedFactory:
             (self.family, n, seed),
             lambda: self.builder(n, random.Random(seed)),
         )
+
+    def checkout_seeded(self, n: int, seed: int) -> Any:
+        """A private deep copy of the cached instance, safe to mutate.
+
+        ``build_seeded`` returns the *shared* cached object — mutating it
+        in place would corrupt every later batch that hits the same key.
+        Long-lived dynamic instances (edge churn) must check out their
+        own copy; the cache keeps the pristine original warm.
+        """
+        import copy
+
+        return copy.deepcopy(self.build_seeded(n, seed))
 
     def __call__(self, n: int, rng: random.Random) -> Any:
         return self.build_seeded(n, rng.getrandbits(64))

@@ -154,10 +154,49 @@ class ServiceClient:
         request["id"] = request_id or default_request_id(request)
         return request
 
+    def build_update_request(
+        self,
+        target: str,
+        updates,
+        *,
+        stream: bool = False,
+        request_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """An UPDATE request: apply edge updates to ``target``'s instance.
+
+        ``updates`` is a sequence of ``(op, u, v)`` tuples or update
+        objects exposing ``as_tuple()`` (:class:`repro.dynamic.EdgeInsert`
+        / ``EdgeDelete``).  The default id hashes ``(target, updates)``,
+        so a dropped-connection retry replays instead of re-applying —
+        updates are stateful, which makes idempotent ids load-bearing.
+        """
+        wire_updates = [
+            list(u.as_tuple()) if hasattr(u, "as_tuple") else list(u)
+            for u in updates
+        ]
+        request = {
+            "kind": "update",
+            "target": target,
+            "updates": wire_updates,
+            "stream": stream,
+            "client": self.client_id,
+        }
+        if request_id is None:
+            digest = hashlib.sha256(
+                repr((target, tuple(map(tuple, wire_updates)))).encode("utf-8")
+            ).hexdigest()
+            request_id = f"update-{target[:32]}-{digest[:16]}"
+        request["id"] = request_id
+        return request
+
     # -- submission --------------------------------------------------------
 
     def submit(self, task: str, **kwargs: Any) -> ServiceResult:
         return self.submit_request(self.build_request(task, **kwargs))
+
+    def submit_update(self, target: str, updates, **kwargs: Any) -> ServiceResult:
+        """Send one UPDATE batch and block for its terminal frame."""
+        return self.submit_request(self.build_update_request(target, updates, **kwargs))
 
     def submit_request(self, request: Dict[str, Any]) -> ServiceResult:
         """Send one REQUEST and block for its terminal frame."""

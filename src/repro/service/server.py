@@ -81,6 +81,38 @@ from .wire import (
 Frame = Tuple[bytes, Dict[str, Any]]
 
 
+def _epoch_payload(
+    epoch: int, op: str, u: int, v: int, m: int, expected: bool,
+    result, labels_changed: int, wire_bits_changed: int,
+) -> Dict[str, Any]:
+    """One epoch as JSON — field-for-field the driver's canonical record."""
+    return {
+        "epoch": epoch,
+        "op": op,
+        "u": u,
+        "v": v,
+        "m": m,
+        "expected": expected,
+        "accepted": result.accepted,
+        "sound": result.accepted == expected,
+        "labels_changed": labels_changed,
+        "wire_bits_changed": wire_bits_changed,
+        "proof_size_bits": result.proof_size_bits,
+    }
+
+
+class _DynamicState:
+    """One long-lived dynamic instance: the churn state behind a target id."""
+
+    __slots__ = ("spec", "graph", "epoch", "prev_sigs")
+
+    def __init__(self, spec, graph, epoch, prev_sigs):
+        self.spec = spec  # ChurnCampaignSpec identity of the instance
+        self.graph = graph  # current working graph (lane-thread private)
+        self.epoch = epoch  # last certified epoch index (0 = init proof)
+        self.prev_sigs = prev_sigs  # packed label signatures of that epoch
+
+
 class _Job:
     """One admitted request and everything the server knows about it."""
 
@@ -113,6 +145,7 @@ class ProofServer:
         journal_path: Optional[str] = None,
         completed_cache: int = 256,
         instance_cache_size: int = 4096,
+        dynamic_cache: int = 64,
     ):
         self.host = host
         self.port = port
@@ -135,6 +168,10 @@ class ProofServer:
         self._completed_cache = completed_cache
         self._instance_cache = InstanceCache(maxsize=instance_cache_size)
         self._cached_factories: Dict[Tuple[str, str], CachedFactory] = {}
+        #: target request id -> live churn state (graph, epoch, signatures),
+        #: LRU-bounded; only the lane thread ever touches the states
+        self._dynamic: "OrderedDict[str, _DynamicState]" = OrderedDict()
+        self._dynamic_cache = dynamic_cache
         self._backend = None
         self._lane = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-service-lane"
@@ -315,6 +352,13 @@ class ProofServer:
         from ..runtime import registry
 
         req = job.request
+        if req.get("kind") == "update":
+            try:
+                return self._execute_update(job)
+            except Exception as exc:  # defensive: an update bug must not
+                return [  # take down the lane
+                    self._fail_frame(job.id, "execution-error", repr(exc))
+                ], False
         try:
             spec = registry.get_task(req["task"])
         except KeyError as exc:
@@ -404,6 +448,172 @@ class ProofServer:
                         "failure_policy": report.failure_policy,
                         "wall_clock_total": report.wall_clock_total,
                         "cache_stats": self._instance_cache.stats(),
+                    },
+                },
+            )
+        )
+        return frames, ok
+
+    def _execute_update(self, job: _Job) -> Tuple[List[Frame], bool]:
+        """Apply one UPDATE batch to a long-lived dynamic instance.
+
+        The target is an earlier *certify* request id whose ``(task, n,
+        seed, c)`` pin the instance identity.  The first UPDATE against a
+        target checks the pristine instance out of the warm cache (a deep
+        copy — the cache stays uncorrupted), certifies the init epoch,
+        then applies the updates; later UPDATEs continue from the stored
+        epoch counter, so a client replaying the shared seeded stream in
+        slices reproduces the local driver's campaign byte-for-byte.
+        Updates are validated against a scratch copy first: a bad update
+        (duplicate insert, missing delete, out-of-range endpoint) is a
+        typed FAIL and leaves the state untouched.
+        """
+        from ..dynamic.driver import (
+            ChurnCampaignSpec,
+            diff_signatures,
+            epoch_rng,
+            initial_graph,
+            node_signatures,
+        )
+        from ..dynamic.updates import DYNAMIC_TASKS, update_from_tuple
+        from ..runtime import registry
+
+        req = job.request
+        target = self._jobs.get(req["target"])
+        if target is None or target.request.get("kind") == "update":
+            return [
+                self._fail_frame(
+                    job.id, "unknown-target",
+                    f"no certify request {req['target']!r} on this server",
+                )
+            ], False
+        treq = target.request
+        if treq["no_instance"] or treq["adversary"]:
+            return [
+                self._fail_frame(
+                    job.id, "bad-request",
+                    "dynamic targets must be honest yes-instance requests",
+                )
+            ], False
+        task = registry.canonical_name(treq["task"])
+        task_spec = registry.get_task(task) if task in registry.task_names() else None
+        if task_spec is None or task not in DYNAMIC_TASKS or task_spec.instance_cls is None:
+            return [
+                self._fail_frame(
+                    job.id, "bad-request",
+                    f"task {treq['task']!r} does not support dynamic "
+                    f"certification; choose from {sorted(DYNAMIC_TASKS)}",
+                )
+            ], False
+        try:
+            updates = [update_from_tuple(item) for item in req["updates"]]
+        except ValueError as exc:
+            return [self._fail_frame(job.id, "bad-request", str(exc))], False
+        state = self._dynamic.get(req["target"])
+        protocol = task_spec.protocol(c=treq["c"])
+        records = []
+        if state is None:
+            spec = ChurnCampaignSpec(
+                task=task, n=treq["n"], seed=treq["seed"], c=treq["c"]
+            )
+            factory = self._cached_factory(task, "yes", task_spec.yes_factory)
+            graph = initial_graph(spec, factory=factory)
+            result = protocol.execute(
+                task_spec.instance_cls(graph.copy()),
+                rng=epoch_rng(spec.seed, 0),
+            )
+            sigs = node_signatures(result)
+            changed, bits = diff_signatures(None, sigs)
+            records.append(
+                _epoch_payload(0, "init", -1, -1, graph.m, True, result,
+                               changed, bits)
+            )
+            state = _DynamicState(spec, graph, 0, sigs)
+        # validate the whole batch on a scratch copy before committing
+        scratch = state.graph.copy()
+        for update in updates:
+            try:
+                update.apply(scratch)
+            except (ValueError, KeyError) as exc:
+                return [
+                    self._fail_frame(
+                        job.id, "bad-update",
+                        f"update {update.as_tuple()!r} does not apply at "
+                        f"epoch {state.epoch}: {exc}",
+                    )
+                ], False
+        predicate = DYNAMIC_TASKS[task]
+        spec = state.spec
+        graph, epoch, prev = state.graph, state.epoch, state.prev_sigs
+        for update in updates:
+            update.apply(graph)
+            epoch += 1
+            expected = predicate(graph)
+            result = protocol.execute(
+                task_spec.instance_cls(graph.copy()),
+                rng=epoch_rng(spec.seed, epoch),
+            )
+            sigs = node_signatures(result)
+            changed, bits = diff_signatures(prev, sigs)
+            records.append(
+                _epoch_payload(epoch, update.op, update.u, update.v, graph.m,
+                               expected, result, changed, bits)
+            )
+            prev = sigs
+        state.epoch, state.prev_sigs = epoch, prev
+        self._dynamic[req["target"]] = state
+        self._dynamic.move_to_end(req["target"])
+        while len(self._dynamic) > self._dynamic_cache:
+            self._dynamic.popitem(last=False)
+        job.events = [{"event": "epoch", **rec} for rec in records]
+        obs_metrics.inc(
+            "repro_dynamic_epochs_total", len(records),
+            help="certified churn epochs", task=task, stream="service",
+        )
+        obs_metrics.inc(
+            "repro_dynamic_unsound_epochs_total",
+            sum(1 for rec in records if not rec["sound"]),
+            help="epochs whose verdict disagreed with the predicate",
+            task=task, stream="service",
+        )
+        frames: List[Frame] = []
+        if req["stream"]:
+            frames.extend(
+                (OP_EVENT, {"id": job.id, "event": event}) for event in job.events
+            )
+        ok = all(rec["sound"] for rec in records)
+        n_updates = sum(1 for rec in records if rec["op"] != "init")
+        report = {
+            "kind": "update",
+            "target": req["target"],
+            "task": task,
+            "n": spec.n,
+            "seed": spec.seed,
+            "c": spec.c,
+            "epochs": records,
+        }
+        frames.append(
+            (
+                OP_RESULT,
+                {
+                    "id": job.id,
+                    "report": report,
+                    "summary": (
+                        f"{task} n={spec.n} seed={spec.seed}: epochs "
+                        f"{records[0]['epoch']}..{epoch} "
+                        f"({n_updates} updates), "
+                        f"{'all sound' if ok else 'UNSOUND'}"
+                    ),
+                    "ok": ok,
+                    "expect_accept": all(rec["expected"] for rec in records),
+                    "degraded": False,
+                    "failures": [],
+                    "meta": {
+                        "backend": "lane",
+                        "failure_policy": "strict",
+                        "wall_clock_total": None,
+                        "cache_stats": self._instance_cache.stats(),
+                        "epoch": epoch,
                     },
                 },
             )

@@ -62,6 +62,9 @@ DEFAULT_MAX_FRAME_BYTES = 1 << 24
 #: admission-time ceilings — a single request may not monopolise the box
 MAX_RUNS_PER_REQUEST = 100_000
 MAX_N_PER_REQUEST = 1_000_000
+MAX_UPDATES_PER_REQUEST = 10_000
+
+REQUEST_KINDS = ("certify", "update")
 
 
 def encode_message(obj: Dict[str, Any]) -> bytes:
@@ -114,6 +117,11 @@ def validate_request(payload: Dict[str, Any]) -> Dict[str, Any]:
     request_id = _want(payload, "id", str, "")
     if not request_id or len(request_id) > 128:
         raise ValueError("request field 'id': want a non-empty string (<= 128 chars)")
+    kind = _want(payload, "kind", str, "certify")
+    if kind not in REQUEST_KINDS:
+        raise ValueError(f"request field 'kind': want one of {REQUEST_KINDS}")
+    if kind == "update":
+        return _validate_update(payload, request_id)
     task = _want(payload, "task", str, "")
     if not task:
         raise ValueError("request field 'task': want a non-empty string")
@@ -144,6 +152,7 @@ def validate_request(payload: Dict[str, Any]) -> Dict[str, Any]:
         raise ValueError("request field 'max_retries': want >= 0")
     return {
         "id": request_id,
+        "kind": "certify",
         "task": task,
         "runs": runs,
         "n": n,
@@ -155,6 +164,63 @@ def validate_request(payload: Dict[str, Any]) -> Dict[str, Any]:
         "run_timeout": run_timeout,
         "max_retries": max_retries,
         "inject_faults": inject_faults,
+        "target": None,
+        "updates": None,
+        "stream": _want(payload, "stream", bool, False),
+        "client": _want(payload, "client", str, "anonymous"),
+    }
+
+
+def _validate_update(payload: Dict[str, Any], request_id: str) -> Dict[str, Any]:
+    """Normalize one UPDATE request (kind="update").
+
+    An UPDATE targets the long-lived dynamic instance of an existing
+    request id and carries an explicit edge-update list — the client owns
+    stream generation (usually from the shared seeded stream helpers), so
+    the server never guesses.  Execution-identity fields it does not use
+    are pinned to canonical defaults, keeping ``request_key`` uniform.
+    """
+    target = _want(payload, "target", str, "")
+    if not target or len(target) > 128:
+        raise ValueError(
+            "request field 'target': want an existing request id (<= 128 chars)"
+        )
+    updates = payload.get("updates")
+    if not isinstance(updates, list) or not updates:
+        raise ValueError("request field 'updates': want a non-empty list")
+    if len(updates) > MAX_UPDATES_PER_REQUEST:
+        raise ValueError(
+            f"request field 'updates': at most {MAX_UPDATES_PER_REQUEST} per request"
+        )
+    canonical = []
+    for item in updates:
+        if (
+            not isinstance(item, (list, tuple))
+            or len(item) != 3
+            or item[0] not in ("insert", "delete")
+            or not all(isinstance(x, int) and not isinstance(x, bool) for x in item[1:])
+        ):
+            raise ValueError(
+                f"request field 'updates': each entry is [op, u, v] with "
+                f"op in ('insert', 'delete') and int endpoints; got {item!r}"
+            )
+        canonical.append([item[0], item[1], item[2]])
+    return {
+        "id": request_id,
+        "kind": "update",
+        "task": "",
+        "runs": 1,
+        "n": 1,
+        "seed": 0,
+        "c": 2,
+        "no_instance": False,
+        "adversary": None,
+        "failure_policy": "strict",
+        "run_timeout": None,
+        "max_retries": 0,
+        "inject_faults": None,
+        "target": target,
+        "updates": canonical,
         "stream": _want(payload, "stream", bool, False),
         "client": _want(payload, "client", str, "anonymous"),
     }
@@ -166,7 +232,9 @@ def request_key(request: Dict[str, Any]) -> Tuple:
     Two REQUESTs with one ``id`` must agree on this key; ``stream`` and
     ``client`` are delivery preferences, not identity.
     """
+    updates = request.get("updates")
     return (
+        request.get("kind", "certify"),
         request["task"],
         request["runs"],
         request["n"],
@@ -178,4 +246,6 @@ def request_key(request: Dict[str, Any]) -> Tuple:
         request["run_timeout"],
         request["max_retries"],
         request["inject_faults"],
+        request.get("target"),
+        None if updates is None else tuple(tuple(u) for u in updates),
     )

@@ -26,9 +26,29 @@ class TestGraphBasics:
         assert g.has_edge(0, 1) and g.has_edge(1, 0)
         assert g.m == 1
 
-    def test_add_edge_idempotent(self):
-        g = Graph(2, [(0, 1), (0, 1), (1, 0)])
+    def test_add_edge_duplicate_rejected(self):
+        # symmetric to remove_edge on a missing edge: a duplicate insert is
+        # a caller bug (or an update-stream replay error), not a no-op
+        g = Graph(2, [(0, 1)])
+        with pytest.raises(ValueError, match="already in graph"):
+            g.add_edge(0, 1)
+        with pytest.raises(ValueError, match="already in graph"):
+            g.add_edge(1, 0)
+        assert g.m == 1  # untouched by the rejected calls
+
+    def test_from_edge_list_merges_duplicates(self):
+        # the trusted bulk path keeps the old merge semantics for callers
+        # that contract parallel edges
+        g = Graph.from_edge_list(2, [(0, 1), (0, 1), (1, 0)])
         assert g.m == 1
+
+    def test_copy_is_independent(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        h = g.copy()
+        h.add_edge(0, 2)
+        h.remove_edge(0, 1)
+        assert g.m == 2 and g.has_edge(0, 1) and not g.has_edge(0, 2)
+        assert h.m == 2 and h.has_edge(0, 2) and not h.has_edge(0, 1)
 
     def test_self_loop_rejected(self):
         with pytest.raises(ValueError):
@@ -142,7 +162,7 @@ class TestFactories:
 def test_graph_invariants(n, raw_edges):
     g = Graph(n)
     for u, v in raw_edges:
-        if u != v and u < n and v < n:
+        if u != v and u < n and v < n and not g.has_edge(u, v):
             g.add_edge(u, v)
     # handshake lemma
     assert sum(g.degree(v) for v in g.nodes()) == 2 * g.m
