@@ -1,0 +1,1227 @@
+"""Columnar decide phase: vectorized checker kernels over packed labels.
+
+The verifier's decision is a per-node function of coins plus own/neighbor
+labels (Kol-Oshman-Saxena model), evaluated identically at every node --
+exactly the shape a data-parallel kernel exploits.  Since the wire-format
+refactor every label already has a canonical packed form ``(schema,
+payload)``; this module turns one finished transcript into *columns*:
+
+- per prover round, one int64 array per requested field, extracted from
+  the payload integers by the same shift/mask arithmetic that
+  ``wire_leaf_span`` / ``PackedLabel._materialize`` use (pinned equal by
+  the property suite), over all n nodes at once;
+- CSR neighbor/port index arrays derived from the :class:`Graph`
+  adjacency, so "read the label behind port q" becomes a numpy gather.
+
+A *kernel* (built by :func:`make_stv_kernel` / :func:`make_po_kernel`)
+consumes a :class:`ColumnarContext` and returns two boolean arrays:
+``ok`` (the vectorized verdict per node) and ``fallback`` (nodes whose
+label shapes the kernel does not cover -- those are re-checked by the
+ordinary per-view Python path, so a kernel can always punt on a rare
+case without ever changing a verdict).  ``Interaction.decide`` merges
+the two; canonical reports are byte-identical with kernels on or off.
+
+Numpy is an **optional** dependency (the ``[vector]`` extra): when it is
+missing, :func:`run_kernel` returns None and the per-view path runs
+unchanged.  ``REPRO_DISABLE_VECTOR_DECIDE=1`` is the escape hatch,
+mirroring the decode-cache and packed-label hatches, and
+``REPRO_VECTOR_MIN_NODES`` tunes the size gate (vectorization has fixed
+setup cost; tiny sub-runs of the composite protocols stay per-view).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .labels import BitString, Label
+
+# ---------------------------------------------------------------------------
+# optional numpy + escape hatches
+# ---------------------------------------------------------------------------
+
+_NP = None
+_NP_CHECKED = False
+
+
+def _numpy():
+    """The numpy module, or None when the optional dependency is absent."""
+    global _NP, _NP_CHECKED
+    if not _NP_CHECKED:
+        _NP_CHECKED = True
+        try:  # pragma: no cover - exercised via the no-numpy CI leg
+            import numpy
+
+            _NP = numpy
+        except Exception:
+            _NP = None
+    return _NP
+
+
+def numpy_available() -> bool:
+    return _numpy() is not None
+
+
+def vector_decide_disabled() -> bool:
+    """True when the ``REPRO_DISABLE_VECTOR_DECIDE`` escape hatch is set."""
+    return os.environ.get("REPRO_DISABLE_VECTOR_DECIDE", "") not in ("", "0")
+
+
+#: below this node count the fixed cost of building columns outweighs the
+#: win (the composite protocols spawn many tiny block sub-runs)
+DEFAULT_MIN_NODES = 32
+
+
+def vector_min_nodes() -> int:
+    raw = os.environ.get("REPRO_VECTOR_MIN_NODES", "")
+    if raw:
+        try:
+            return int(raw)
+        except ValueError:
+            pass
+    return DEFAULT_MIN_NODES
+
+
+# ---------------------------------------------------------------------------
+# sentinels
+# ---------------------------------------------------------------------------
+#
+# Field columns are int64.  Legal field values are non-negative (uints,
+# field elements, flags as 0/1, maybe-values), so negative sentinels are
+# unambiguous:
+#
+#   MISSING -- the field (or a sub-label on its path, or the whole round
+#              label) is absent: the per-view checkers' _ABSENT/_MISSING.
+#   NONE    -- a ``maybe`` field that is present with value None.
+#
+# Sentinel arithmetic is deliberately tolerant: a garbage product computed
+# from a MISSING row only ever feeds conjuncts of nodes that an explicit
+# missing-check has already rejected, mirroring the early ``return False``
+# of the scalar checkers.
+
+MISSING = -2
+NONE = -1
+
+#: "no such slot" sentinel for parent/child port indices (beyond any slot)
+BIG = 1 << 60
+
+
+class Uncoverable(Exception):
+    """A label shape the columnar path cannot represent (BitString-valued
+    leaves, oversized widths).  Raised during extraction; ``run_kernel``
+    turns it into a whole-run per-view fallback."""
+
+
+# ---------------------------------------------------------------------------
+# field-spec resolution: schema -> (shift, mask) extraction plans
+# ---------------------------------------------------------------------------
+#
+# A *spec* describes how to pull one field path out of a payload integer:
+#
+#   ("leaf", shift, mask)   uint/felem/flag value = (payload >> shift) & mask
+#   ("maybe", shift, width) presence bit + value bits, decoded like
+#                           PackedLabel._materialize
+#   ("sub",)                the path names a present sub-label (presence
+#                           queries: the _sub/isinstance-Label idiom)
+#   ("missing",)            absent field, or a non-label on the descend path
+#   ("uncover",)            bits / maybe_b leaves (BitString values) or
+#                           widths beyond int64 -- per-row fallback
+#
+# Schemas are interned process-wide and never freed, so ``id(schema)`` is
+# a safe cache key; resolution runs once per (schema, path) per process.
+
+_SPEC_CACHE: Dict[tuple, tuple] = {}
+
+_MISSING_SPEC = ("missing",)
+_SUB_SPEC = ("sub",)
+_UNCOVER_SPEC = ("uncover",)
+
+#: widest leaf an int64 column can hold (values are non-negative)
+_MAX_LEAF_BITS = 62
+
+
+def _schema_entry(schema, name: str):
+    for entry in schema.fields:
+        if entry[0] == name:
+            return entry
+    return None
+
+
+def _resolve_spec(schema, path: tuple, unwrap: bool, want_sub: bool) -> tuple:
+    key = (id(schema), path, unwrap, want_sub)
+    spec = _SPEC_CACHE.get(key)
+    if spec is None:
+        spec = _SPEC_CACHE[key] = _resolve_uncached(schema, path, unwrap, want_sub)
+    return spec
+
+
+def _resolve_uncached(schema, path: tuple, unwrap: bool, want_sub: bool) -> tuple:
+    shift = 0
+    cur = schema
+    if unwrap:
+        # mirror path_outerplanarity._unwrap: descend into a "node" sub
+        # if present *and* label-kinded, else read the label itself
+        entry = _schema_entry(cur, "node")
+        if entry is not None and entry[1] == "label":
+            shift += entry[4]
+            cur = entry[3]
+    for depth, name in enumerate(path):
+        entry = _schema_entry(cur, name)
+        if entry is None:
+            return _MISSING_SPEC
+        _, kind, width, child, fshift = entry
+        if depth < len(path) - 1:
+            if kind != "label":
+                # _sub() on a non-label field yields None -> absent
+                return _MISSING_SPEC
+            shift += fshift
+            cur = child
+            continue
+        # last path element
+        if want_sub:
+            return _SUB_SPEC if kind == "label" else _MISSING_SPEC
+        if kind in ("uint", "felem", "flag"):
+            if width > _MAX_LEAF_BITS:
+                return _UNCOVER_SPEC
+            return ("leaf", shift + fshift, (1 << width) - 1)
+        if kind == "maybe":
+            if width - 1 > _MAX_LEAF_BITS:
+                return _UNCOVER_SPEC
+            return ("maybe", shift + fshift, width)
+        # "bits" and "maybe_b" hold BitString values; "label" read as a
+        # value leaf has no integer form either
+        return _UNCOVER_SPEC
+    return _MISSING_SPEC  # empty path: nothing to extract
+
+
+#: a column request: (field path, want_sub, unwrap) -- want_sub asks "is
+#: there a present sub-label here" (1 / MISSING) instead of a field value;
+#: unwrap applies the wrapped-label "node" descend before walking the path
+ColumnSpec = Tuple[tuple, bool, bool]
+
+
+def _compile_plan(schema, specs: Sequence[ColumnSpec]) -> list:
+    """Per-schema extraction plan: one dispatch tuple per spec.
+
+    The plan turns the resolved specs into the tightest possible per-row
+    loop (the extraction loop runs once per label *row*, so every dict
+    lookup saved here is multiplied by n):
+      (0, shift, mask)               leaf value
+      (1,)                           missing
+      (2, presence_shift, vmask, value_shift)   maybe
+      (3,)                           present sub
+      (4,)                           uncoverable
+    """
+    plan = []
+    for path, want_sub, unwrap in specs:
+        spec = _resolve_spec(schema, path, unwrap, want_sub)
+        tag = spec[0]
+        if tag == "leaf":
+            plan.append((0, spec[1], spec[2]))
+        elif tag == "missing":
+            plan.append((1,))
+        elif tag == "maybe":
+            shift, width = spec[1], spec[2]
+            plan.append((2, shift + width - 1, (1 << (width - 1)) - 1, shift))
+        elif tag == "sub":
+            plan.append((3,))
+        else:
+            plan.append((4,))
+    return plan
+
+
+class _WireBacked(Exception):
+    """A nested sub-label has no field tree (wire-backed): the row must
+    be extracted through the packed payload path instead."""
+
+
+#: compiled tree-walk tries per specs tuple: (raw_trie, unwrap_trie),
+#: each ``(leaf_ops, subs)`` -- see :func:`_compile_trie`
+_TRIE_CACHE: Dict[tuple, tuple] = {}
+
+
+def _compile_trie(specs: Sequence[ColumnSpec]) -> tuple:
+    """Group specs by shared path prefixes into walk tries.
+
+    A trie node is ``(leaf_ops, subs)``: ``leaf_ops`` are ``(out_idx,
+    field_name, want_sub)`` reads at this level, ``subs`` are
+    ``(field_name, child_trie)`` descents.  Grouping means a shared
+    sub-label (e.g. the three forest encodings of every setup label) is
+    located once per row instead of once per spec -- and the walker
+    additionally memoizes whole sub-walks by sub-label identity, which
+    collapses the heavily interned advice labels across nodes.
+    """
+
+    def build(items):
+        val_ops = []
+        sub_flag_ops = []
+        groups: Dict[str, list] = {}
+        for path, want_sub, idx in items:
+            if len(path) == 1:
+                (sub_flag_ops if want_sub else val_ops).append((idx, path[0]))
+            elif len(path) > 1:
+                groups.setdefault(path[0], []).append((path[1:], want_sub, idx))
+        subs = tuple((name, build(sub)) for name, sub in groups.items())
+        return (tuple(val_ops), tuple(sub_flag_ops), subs)
+
+    raw = [(p, ws, i) for i, (p, ws, uw) in enumerate(specs) if not uw]
+    unw = [(p, ws, i) for i, (p, ws, uw) in enumerate(specs) if uw]
+    return (build(raw) if raw else None, build(unw) if unw else None)
+
+
+def _walk_trie(fields, trie, out: List[int], memo) -> bool:
+    """Walk one trie over a field dict, writing values into ``out``.
+
+    ``out`` is indexed by spec position (a per-row list or, for memoized
+    sub-walks, a scratch dict).  Returns the row's uncoverable flag.
+    Sub-label walks are memoized by ``(id(sub_label), id(sub_trie))`` in
+    ``memo`` (shared across the rows of one extraction), so interned
+    advice labels are read once no matter how many nodes share them.
+    """
+    bad = False
+    val_ops, sub_flag_ops, subs = trie
+    fget = fields.get
+    for idx, name in val_ops:
+        f = fget(name)
+        if f is None:
+            continue
+        kind = f[0]
+        if kind == "uint" or kind == "felem":
+            if f[2] > _MAX_LEAF_BITS:
+                bad = True
+            else:
+                out[idx] = f[1]
+        elif kind == "flag":
+            out[idx] = 1 if f[1] else 0
+        elif kind == "maybe":
+            v = f[1]
+            if v is None:
+                out[idx] = NONE
+            elif isinstance(v, BitString) or f[2] - 1 > _MAX_LEAF_BITS:
+                bad = True
+            else:
+                out[idx] = v
+        else:  # bits, or a sub-label read as a value leaf
+            bad = True
+    for idx, name in sub_flag_ops:
+        f = fget(name)
+        if f is not None and f[0] == "label":
+            out[idx] = 1
+    for name, sub in subs:
+        f = fget(name)
+        if f is None or f[0] != "label":
+            continue
+        child = f[1]
+        key = (id(child), id(sub))
+        hit = memo.get(key)
+        if hit is None:
+            # first occurrence: walk straight into ``out`` -- unique
+            # sub-labels (the common case for per-node fields) never pay
+            # the tabulate-and-replay overhead
+            cf = child._fields
+            if cf is None:
+                raise _WireBacked
+            memo[key] = False
+            bad |= _walk_trie(cf, sub, out, memo)
+        elif hit is False:
+            # second occurrence: this sub-label is shared -- tabulate its
+            # values once so every further row is a cheap replay
+            tmp: Dict[int, int] = {}
+            b = _walk_trie(child._fields, sub, tmp, memo)
+            hit = memo[key] = (tuple(tmp.items()), b)
+            for idx, val in hit[0]:
+                out[idx] = val
+            bad |= b
+        else:
+            for idx, val in hit[0]:
+                out[idx] = val
+            bad |= hit[1]
+    return bad
+
+
+def _trie_row(fields, tries, k: int, memo):
+    """One row via the tree walker; ``(vals, bad)`` like the packed path."""
+    raw, unw = tries
+    vals = [MISSING] * k
+    bad = False
+    if raw is not None:
+        bad |= _walk_trie(fields, raw, vals, memo)
+    if unw is not None:
+        f = fields.get("node")
+        if f is not None and f[0] == "label":
+            base = f[1]._fields
+            if base is None:
+                raise _WireBacked
+        else:
+            base = fields
+        bad |= _walk_trie(base, unw, vals, memo)
+    return vals, bad
+
+
+def extract_columns(np, rows: Sequence[Optional[Label]], specs: Sequence[ColumnSpec]):
+    """Extract one int64 column per spec from a row of labels.
+
+    ``rows[i]`` is the label of row ``i`` (None for "no label at all",
+    which reads as MISSING everywhere).  Returns ``(columns, uncover)``
+    where ``uncover`` flags rows holding a shape the specs cannot decode
+    (their column values are MISSING placeholders; the caller must route
+    every reader of such a row to the per-view fallback).
+
+    Rows are memoized by label identity: transcript labels are routinely
+    shared (interned forest labels, neighbor reads), so each distinct
+    object is read once.  Wire-backed labels (worker transport, pickles)
+    extract by shift/mask over the payload integer with a plan compiled
+    once per distinct schema; tree-backed labels read their field dicts
+    directly -- same values, no packing cost on the serial path.
+    """
+    k = len(specs)
+    missing_row = [MISSING] * k
+    row_vals: List[List[int]] = [missing_row] * len(rows)
+    uncover = np.zeros(len(rows), dtype=bool)
+    memo: Dict[int, Tuple[List[int], bool]] = {}
+    sub_memo: Dict[tuple, tuple] = {}
+    tries = _TRIE_CACHE.get(specs)
+    if tries is None:
+        tries = _TRIE_CACHE[specs] = _compile_trie(specs)
+    plans: Dict[int, list] = {}
+    for ridx, lbl in enumerate(rows):
+        if lbl is None:
+            continue
+        cached = memo.get(id(lbl))
+        if cached is None:
+            fields = lbl._fields
+            if lbl._wire is None and fields is not None:
+                try:
+                    cached = _trie_row(fields, tries, k, sub_memo)
+                except _WireBacked:
+                    cached = None
+            if cached is None:
+                schema, payload = lbl.pack()
+                plan = plans.get(id(schema))
+                if plan is None:
+                    plan = plans[id(schema)] = _compile_plan(schema, specs)
+                vals: List[int] = []
+                bad = False
+                for entry in plan:
+                    tag = entry[0]
+                    if tag == 0:
+                        vals.append((payload >> entry[1]) & entry[2])
+                    elif tag == 1:
+                        vals.append(MISSING)
+                    elif tag == 2:
+                        if (payload >> entry[1]) & 1:
+                            vals.append((payload >> entry[3]) & entry[2])
+                        else:
+                            vals.append(NONE)
+                    elif tag == 3:
+                        vals.append(1)
+                    else:
+                        vals.append(MISSING)
+                        bad = True
+                cached = (vals, bad)
+            memo[id(lbl)] = cached
+        vals, bad = cached
+        if bad:
+            uncover[ridx] = True
+        row_vals[ridx] = vals
+    if not row_vals:
+        return [np.empty(0, dtype=np.int64) for _ in range(k)], uncover
+    # one C-level parse + transpose copy instead of k * n_rows Python writes
+    mat = np.ascontiguousarray(np.array(row_vals, dtype=np.int64).T)
+    return list(mat), uncover
+
+
+# ---------------------------------------------------------------------------
+# the columnar context: CSR adjacency + per-round column assembly
+# ---------------------------------------------------------------------------
+
+
+class ColumnarContext:
+    """Columns and index arrays of one finished execution.
+
+    ``indptr/nbr/slot_node`` form the CSR view of the adjacency: the
+    slots of node ``v`` are ``indptr[v]:indptr[v+1]``, slot ``s`` leads
+    to neighbor node ``nbr[s]`` and belongs to node ``slot_node[s]``;
+    port ``q`` of ``v`` is slot ``indptr[v] + q`` (ports are sorted
+    neighbor order, exactly as ``build_views`` exposes them).
+
+    ``fallback`` accumulates nodes the kernels cannot decide (uncoverable
+    label shapes, structural cases a kernel punts on); the decide hook
+    re-checks exactly those through the per-view path.
+    """
+
+    def __init__(self, np, graph, transcript):
+        self.np = np
+        self.graph = graph
+        self.n = graph.n
+        self._prover_rounds = transcript.prover_rounds()
+        self._verifier_rounds = transcript.verifier_rounds()
+        self.fallback = np.zeros(self.n, dtype=bool)
+        self._csr = None
+        self._edge_rows: Dict[int, list] = {}
+
+    # -- adjacency --------------------------------------------------------
+
+    def csr(self):
+        csr = self._csr
+        if csr is None:
+            np = self.np
+            g = self.graph
+            n = self.n
+            neighbors = g.neighbors
+            degs = np.array([g.degree(v) for v in range(n)], dtype=np.int64)
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(degs, out=indptr[1:])
+            flat = [u for v in range(n) for u in neighbors(v)]
+            nbr = np.array(flat, dtype=np.int64)
+            slot_node = np.repeat(np.arange(n, dtype=np.int64), degs)
+            csr = self._csr = (indptr, nbr, slot_node)
+        return csr
+
+    # -- columns ----------------------------------------------------------
+
+    def node_cols(self, ridx: int, specs: Sequence[ColumnSpec]):
+        """Per-node columns for prover round ``ridx`` (one array per spec)."""
+        rounds = self._prover_rounds
+        if ridx < len(rounds):
+            labels = rounds[ridx].labels
+            rows = [labels.get(v) for v in range(self.n)]
+        else:
+            rows = [None] * self.n
+        cols, uncover = extract_columns(self.np, rows, specs)
+        if uncover.any():
+            # an undecodable label is read by its owner and all neighbors
+            np = self.np
+            _, nbr, slot_node = self.csr()
+            self.fallback |= uncover
+            self.fallback |= np.bincount(
+                slot_node[uncover[nbr]], minlength=self.n
+            ).astype(bool)
+        return cols
+
+    def edge_rows(self, ridx: int) -> list:
+        rows = self._edge_rows.get(ridx)
+        if rows is None:
+            rounds = self._prover_rounds
+            store = rounds[ridx].edge_labels if ridx < len(rounds) else {}
+            g = self.graph
+            rows = []
+            for v in range(self.n):
+                for u in g.neighbors(v):
+                    rows.append(store.get((v, u) if v <= u else (u, v)))
+            self._edge_rows[ridx] = rows
+        return rows
+
+    def edge_cols(self, ridx: int, specs: Sequence[ColumnSpec]):
+        """Per-slot columns for the edge labels of prover round ``ridx``."""
+        cols, uncover = extract_columns(self.np, self.edge_rows(ridx), specs)
+        if uncover.any():
+            np = self.np
+            _, _, slot_node = self.csr()
+            # the same edge label appears once per endpoint slot, so
+            # marking each uncovered slot's owner covers both readers
+            self.fallback |= np.bincount(
+                slot_node[uncover], minlength=self.n
+            ).astype(bool)
+        return cols
+
+    def coin_cols(self, vidx: int):
+        """Per-node coin values of verifier round ``vidx`` as int64."""
+        np = self.np
+        rounds = self._verifier_rounds
+        if vidx >= len(rounds):
+            return np.zeros(self.n, dtype=np.int64)
+        coins = rounds[vidx].coins
+        vals = [0] * self.n
+        for v, bits in coins.items():
+            if bits.width > _MAX_LEAF_BITS:
+                raise Uncoverable(f"coin width {bits.width} beyond int64")
+            vals[v] = bits.value
+        return np.array(vals, dtype=np.int64)
+
+
+# ---------------------------------------------------------------------------
+# segmented helpers (segments = the CSR slot ranges of each node)
+# ---------------------------------------------------------------------------
+
+
+def seg_any(np, mask, slot_node, n: int):
+    """Per-node "any slot satisfies mask" (False on empty segments)."""
+    return np.bincount(slot_node[mask], minlength=n).astype(bool)
+
+
+def seg_count(np, mask, slot_node, n: int):
+    return np.bincount(slot_node[mask], minlength=n)
+
+
+def seg_min_slot(np, mask, slot_node, n: int):
+    """Per-node minimum slot index among masked slots (BIG when none)."""
+    out = np.full(n, BIG, dtype=np.int64)
+    sel = np.nonzero(mask)[0]
+    np.minimum.at(out, slot_node[sel], sel)
+    return out
+
+
+def seg_sum(np, mask, slot_node, values, n: int):
+    """Per-node int64 sum of ``values`` over masked slots (exact)."""
+    out = np.zeros(n, dtype=np.int64)
+    sel = np.nonzero(mask)[0]
+    np.add.at(out, slot_node[sel], values[sel])
+    return out
+
+
+def seg_pick(np, mask, slot_node, values, n: int):
+    """Per-node value of *the* masked slot (callers guarantee at most one
+    masked slot per decided node; with several, the last write wins and
+    the node is on the fallback path anyway).  MISSING when none."""
+    out = np.full(n, MISSING, dtype=np.int64)
+    sel = np.nonzero(mask)[0]
+    out[slot_node[sel]] = values[sel]
+    return out
+
+
+def pow_mod(np, base, exp, mod: int, max_bits: int):
+    """Vectorized pow(base, exp, mod) by square-and-multiply.
+
+    ``exp`` entries are clamped at 0 (MISSING rows feed already-rejected
+    conjuncts) and must fit ``max_bits`` bits, which every multiplicity
+    field does by construction (width-preserving fuzz included)."""
+    result = np.ones_like(base)
+    b = base % mod
+    e = np.maximum(exp, 0)
+    for i in range(max_bits):
+        bit = (e >> i) & 1
+        result = np.where(bit == 1, result * b % mod, result)
+        b = b * b % mod
+    return result
+
+
+# ---------------------------------------------------------------------------
+# vectorized Lemma-2.3 forest decode (decode_forest_fields over columns)
+# ---------------------------------------------------------------------------
+
+
+def _decode_forest_cols(np, csr, n: int, own):
+    """Columnar ``decode_forest_fields`` over all nodes at once.
+
+    ``own`` is the ``(c1, c2, parity, is_root)`` node columns.  Callers
+    reject (or mark bad) nodes whose own/neighbor fields are MISSING
+    before trusting the outputs; on such rows the decode runs on garbage,
+    feeding only already-rejected conjuncts.
+
+    Returns ``(ok, parent_slot, child_mask, child_count)``: ``ok[v]``
+    False means the scalar decode returns None; ``parent_slot[v]`` is the
+    global slot of the decoded parent (BIG for roots); ``child_mask`` is
+    per-slot, ``child_count`` per-node.
+    """
+    indptr, nbr, slot_node = csr
+    c1, c2, parity, root = own
+    # own parent/child colors by parity (parity 1: parent via c1, children
+    # via c2; parity 0: the mirror)
+    own_pc = np.where(parity == 1, c1, c2)
+    own_cc = np.where(parity == 1, c2, c1)
+    s_par = parity[slot_node]
+    nb_par = parity[nbr]
+    nb_pk = np.where(s_par == 1, c1[nbr], c2[nbr])
+    nb_ck = np.where(s_par == 1, c2[nbr], c1[nbr])
+    opposite = nb_par != s_par
+    cand = opposite & (nb_pk == own_pc[slot_node])
+    child_mask = opposite & (nb_ck == own_cc[slot_node])
+    cand_count = seg_count(np, cand, slot_node, n)
+    child_count = seg_count(np, child_mask, slot_node, n)
+    parent_slot = seg_min_slot(np, cand, slot_node, n)
+    ps_safe = np.where(parent_slot < BIG, parent_slot, 0)
+    parent_is_child = (parent_slot < BIG) & child_mask[ps_safe]
+    is_root = root == 1
+    ok = np.where(
+        is_root,
+        cand_count == 0,
+        (cand_count == 1) & ~parent_is_child,
+    )
+    parent_slot = np.where(is_root | ~ok, BIG, parent_slot)
+    return ok, parent_slot, child_mask, child_count
+
+
+# ---------------------------------------------------------------------------
+# shared STV field checks (Lemma 2.5 over columns)
+# ---------------------------------------------------------------------------
+
+
+def _stv_reject(
+    np, csr, n: int, reps: int, p: int, elem_bits: int,
+    coin_vals, s_cols, z_cols, child_mask, is_root_mask,
+):
+    """Reject mask of ``check_node_fields`` (sans tree-port pinning).
+
+    ``coin_vals`` are the STV coin slices (already masked by the caller);
+    ``child_mask`` is the per-slot decoded-children mask, ``is_root_mask``
+    the decoded root flag.  MISSING fields reject exactly where the
+    scalar checker's _ABSENT tests do.
+    """
+    _, nbr, slot_node = csr
+    reject = np.zeros(n, dtype=bool)
+    emask = (1 << elem_bits) - 1
+    for j in range(reps):
+        s_v = s_cols[j]
+        z_v = z_cols[j]
+        reject |= (s_v == MISSING) | (z_v == MISSING)
+        reject |= (s_v < 0) | (s_v >= p) | (z_v < 0) | (z_v >= p)
+        # global-sum consistency across every graph edge (_ABSENT never
+        # equals a field value: MISSING neighbors mismatch and reject)
+        reject |= seg_any(np, z_v[nbr] != z_v[slot_node], slot_node, n)
+        # subtree-sum recurrence over decoded children
+        ns = s_v[nbr]
+        reject |= seg_any(np, child_mask & (ns == MISSING), slot_node, n)
+        contrib = np.where(ns >= 0, ns, 0)
+        total = seg_sum(np, child_mask, slot_node, contrib, n)
+        x_j = ((coin_vals >> (j * elem_bits)) & emask) % p
+        reject |= (x_j + total) % p != s_v
+        reject |= is_root_mask & (s_v != z_v)
+    return reject
+
+
+# ---------------------------------------------------------------------------
+# kernel: standalone spanning-tree verification
+# ---------------------------------------------------------------------------
+
+
+def make_stv_kernel(reps: int, p: int, elem_bits: int, tree_ports):
+    """Columnar checker for :class:`SpanningTreeVerificationProtocol`.
+
+    ``tree_ports`` is the instance's port pinning (dict node -> tuple of
+    ports) when the protocol enforces a specific tree, else None --
+    matching the ``expected_tree_ports`` argument of the scalar checker.
+    """
+
+    _F = (
+        (("c1",), False, False),
+        (("c2",), False, False),
+        (("parity",), False, False),
+        (("is_root",), False, False),
+    )
+    _R3 = tuple(((f"s{j}",), False, False) for j in range(reps)) + tuple(
+        ((f"Z{j}",), False, False) for j in range(reps)
+    )
+
+    def kernel(ctx: ColumnarContext):
+        np = ctx.np
+        n = ctx.n
+        csr = ctx.csr()
+        indptr, nbr, slot_node = csr
+
+        # round-1 forest-encoding labels (STV labels are unwrapped)
+        c1, c2, parity, root = ctx.node_cols(0, _F)
+        own_bad = (c1 == MISSING) | (c2 == MISSING) | (parity == MISSING) | (
+            root == MISSING
+        )
+        reject = own_bad | seg_any(np, own_bad[nbr], slot_node, n)
+        dec_ok, parent_slot, child_mask, _ = _decode_forest_cols(
+            np, csr, n, (c1, c2, parity, root)
+        )
+        reject |= ~dec_ok
+
+        if tree_ports is not None:
+            expected = np.zeros(len(nbr), dtype=bool)
+            base = indptr
+            for v, ports in tree_ports.items():
+                off = int(base[v])
+                for q in ports:
+                    expected[off + q] = True
+            slots = np.arange(len(nbr), dtype=np.int64)
+            decoded_in = child_mask | (slots == parent_slot[slot_node])
+            reject |= seg_any(np, decoded_in != expected, slot_node, n)
+
+        # round-2 sum-check shares
+        cols = ctx.node_cols(1, _R3)
+        coin_vals = ctx.coin_cols(0)
+        reject |= _stv_reject(
+            np, csr, n, reps, p, elem_bits, coin_vals,
+            cols[:reps], cols[reps:], child_mask, root == 1,
+        )
+        return ~reject, ctx.fallback
+
+    return kernel
+
+
+def run_kernel(kernel, graph, transcript):
+    """Run a columnar kernel over a finished transcript.
+
+    Returns ``(ok, fallback)`` numpy bool arrays, or None when the
+    vectorized path does not apply (hatch set, numpy absent, graph below
+    the size gate or degenerate, or an uncoverable coin/label shape) --
+    the caller then uses the per-view path for every node.
+    """
+    if vector_decide_disabled():
+        return None
+    np = _numpy()
+    if np is None:
+        return None
+    if graph.n < vector_min_nodes() or graph.n < 2 or graph.m == 0:
+        return None
+    try:
+        ctx = ColumnarContext(np, graph, transcript)
+        return kernel(ctx)
+    except Uncoverable:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# kernel: path-outerplanarity (the decide sweep behind planarity,
+# planar_embedding, outerplanarity, treewidth2, series_parallel)
+# ---------------------------------------------------------------------------
+#
+# Columns requested from each round.  Wrapped round labels put the
+# protocol fields under a "node" sub (unwrap=True), except the round-1
+# "forests" setup which sits *next to* "node" (unwrap=False).
+
+_PO_R1_SPECS = (
+    (("commit", "c1"), False, True),
+    (("commit", "c2"), False, True),
+    (("commit", "parity"), False, True),
+    (("commit", "is_root"), False, True),
+    (("lr",), True, True),
+    (("lr", "idx"), False, True),
+    (("lr", "x1bit"), False, True),
+    (("lr", "x2bit"), False, True),
+    (("lr", "side"), False, True),
+    (("lr", "M"), False, True),
+)
+
+_PO_R3_SPECS = (
+    (("lr",), True, True),
+    (("lr", "rb"), False, True),
+    (("lr", "r"), False, True),
+    (("lr", "rp"), False, True),
+    (("lr", "pfx2_r"), False, True),
+    (("lr", "sfx1_r"), False, True),
+    (("lr", "pfx1_rp"), False, True),
+    (("nest", "above"), False, True),
+    (("nest", "has_left"), False, True),
+    (("nest", "has_right"), False, True),
+    (("stv",), True, True),
+)
+
+_PO_R5_SPECS = (
+    (("lr",), True, True),
+    (("lr", "rq0"), False, True),
+    (("lr", "rq1"), False, True),
+    (("lr", "A0"), False, True),
+    (("lr", "A1"), False, True),
+    (("lr", "B0"), False, True),
+    (("lr", "B1"), False, True),
+)
+
+_PO_E1_SPECS = (
+    (("inner",), False, False),
+    (("I",), False, False),
+    (("fwd",), False, False),
+    (("ltail",), False, False),
+    (("lhead",), False, False),
+)
+
+_PO_E3_SPECS = (
+    (("jval",), False, False),
+    (("name_t",), False, False),
+    (("name_h",), False, False),
+    (("succ",), False, False),
+)
+
+
+def _chain_ok(entries, start_above: int, own_above: int, longest_flag_index: int):
+    """Sentinel-int port of ``_check_nesting.chain_ok``.
+
+    ``entries`` are ``(name, succ, ltail, lhead)`` tuples in ascending
+    port order (the scalar iteration order -- the search budget depends
+    on it); NONE stands for the scalar None, MISSING ``start_above`` for
+    the scalar "missing" marker.  Names and legal succ values are
+    non-negative, so the sentinels compare exactly like their scalar
+    counterparts.
+    """
+    if start_above == MISSING:
+        return False
+    k = len(entries)
+    used = [False] * k
+    budget = [4096]
+
+    def rec(expected, count) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        if count == k:
+            return True
+        for i in range(k):
+            if used[i] or entries[i][0] != expected:
+                continue
+            is_last = count + 1 == k
+            marked = entries[i][2] if longest_flag_index == 0 else entries[i][3]
+            if is_last:
+                if not marked or entries[i][1] != own_above:
+                    continue
+            else:
+                if marked or entries[i][1] == NONE:
+                    continue
+            used[i] = True
+            nxt = entries[i][1] if not is_last else None
+            if rec(nxt, count + 1):
+                used[i] = False
+                return True
+            used[i] = False
+        return False
+
+    return rec(start_above, 0)
+
+
+def make_po_kernel(pm, stv_p: int, stv_elem_bits: int, n_forests: int = 3):
+    """Columnar checker for ``check_path_outerplanarity_node``.
+
+    ``pm`` is the :class:`PathOuterplanarityParams` of the run (duck-typed
+    here to keep core/ free of protocol imports); ``stv_p`` /
+    ``stv_elem_bits`` are the STV field constants.  The kernel re-derives
+    every verdict of the scalar checker; the only cases it routes to the
+    per-view fallback (beyond uncoverable label shapes) are nodes with
+    two or more outer edges or nesting entries on one side, whose
+    multiset/chain checks are cheaper re-run in Python than vectorized.
+    """
+    plr = pm.lr
+    t_reps = pm.t
+    stv_specs = tuple(((("stv", f"s{j}"), False, True) for j in range(t_reps)))
+    stv_specs += tuple(((("stv", f"Z{j}"), False, True) for j in range(t_reps)))
+    r3_specs = _PO_R3_SPECS + stv_specs
+    forest_specs = [(("forests",), True, False)]
+    for i in range(n_forests):
+        key = f"forest{i}"
+        forest_specs.append(((("forests", key)), True, False))
+        for fname in ("c1", "c2", "parity", "is_root"):
+            forest_specs.append(((("forests", key, fname)), False, False))
+    r1_specs = _PO_R1_SPECS + tuple(forest_specs)
+    n_r1 = len(_PO_R1_SPECS)
+
+    def kernel(ctx: ColumnarContext):  # noqa: C901
+        np = ctx.np
+        n = ctx.n
+        if pm.n == 1:
+            return np.ones(n, dtype=bool), ctx.fallback
+        csr = ctx.csr()
+        indptr, nbr, slot_node = csr
+        nslots = len(nbr)
+        slots = np.arange(nslots, dtype=np.int64)
+        fallback = ctx.fallback
+        reject = np.zeros(n, dtype=bool)
+
+        r1 = ctx.node_cols(0, r1_specs)
+        cc1, cc2, cpar, croot, lr1_has, idx, x1b, x2b, side, mult = r1[:n_r1]
+        fcols = r1[n_r1:]
+        r3 = ctx.node_cols(1, r3_specs)
+        lr3_has, rb, rcol, rpcol, pfx2, sfx1, pfx1 = r3[:7]
+        above, hl, hr, stv_has = r3[7:11]
+        s_cols = r3[11 : 11 + t_reps]
+        z_cols = r3[11 + t_reps :]
+        e1 = ctx.edge_cols(0, _PO_E1_SPECS)
+        inner, ival, fwd, ltail, lhead = e1
+        e3 = ctx.edge_cols(1, _PO_E3_SPECS)
+        jval, name_t, name_h, succ = e3
+        coins0 = ctx.coin_cols(0)
+        coins1 = ctx.coin_cols(1)
+
+        # ---- 1. decode the committed path ----
+        cbad = (cc1 == MISSING) | (cc2 == MISSING) | (cpar == MISSING) | (
+            croot == MISSING
+        )
+        reject |= cbad | seg_any(np, cbad[nbr], slot_node, n)
+        dec_ok, parent_slot, child_mask, child_count = _decode_forest_cols(
+            np, csr, n, (cc1, cc2, cpar, croot)
+        )
+        reject |= ~dec_ok | (child_count > 1)
+        left_slot = parent_slot
+        right_slot = seg_min_slot(np, child_mask, slot_node, n)
+        has_left = left_slot < BIG
+        has_right = right_slot < BIG
+        left_nb = nbr[np.where(has_left, left_slot, 0)]
+        right_nb = nbr[np.where(has_right, right_slot, 0)]
+
+        # ---- 2. spanning-tree verification of the commitment ----
+        sbad = stv_has == MISSING
+        reject |= sbad | seg_any(np, sbad[nbr], slot_node, n)
+        reject |= _stv_reject(
+            np, csr, n, t_reps, stv_p, stv_elem_bits,
+            coins0 & pm.stv_mask, s_cols, z_cols, child_mask, croot == 1,
+        )
+
+        # ---- 3. port kinds (path + claimed orientations) ----
+        is_left = slots == left_slot[slot_node]
+        is_right = slots == right_slot[slot_node]
+        nonpath = ~(is_left | is_right)
+        reject |= seg_any(np, nonpath & (fwd == MISSING), slot_node, n)
+        has_np = seg_any(np, nonpath, slot_node, n)
+        own_none = fcols[0] == MISSING
+        for i in range(n_forests):
+            own_none |= fcols[1 + 5 * i] == MISSING
+        sim_none = own_none | seg_any(np, own_none[nbr], slot_node, n)
+        # accountability: first forest claiming the edge wins (ordered)
+        acc = np.full(nslots, -1, dtype=np.int64)
+        for i in range(n_forests):
+            fc1, fc2, fpar, froot = fcols[2 + 5 * i : 6 + 5 * i]
+            enc_bad = (fc1 == MISSING) | (fc2 == MISSING) | (fpar == MISSING) | (
+                froot == MISSING
+            )
+            f_bad = enc_bad | seg_any(np, enc_bad[nbr], slot_node, n)
+            f_ok, f_ps, f_ch, _ = _decode_forest_cols(
+                np, csr, n, (fc1, fc2, fpar, froot)
+            )
+            valid = (~f_bad & f_ok)[slot_node]
+            is_par = valid & (slots == f_ps[slot_node])
+            is_chd = valid & f_ch & ~is_par
+            undecided = acc == -1
+            acc = np.where(undecided & is_par, 1, acc)
+            acc = np.where(undecided & is_chd, 0, acc)
+        reject |= has_np & sim_none
+        reject |= seg_any(np, nonpath & (acc == -1), slot_node, n)
+        tail = ((fwd == 1) & (acc == 1)) | ((fwd == 0) & (acc == 0))
+        is_out = nonpath & tail
+        is_in = nonpath & ~tail
+        io = is_out | is_in
+
+        # ---- 4. LR sorting over the committed path ----
+        reject |= (lr1_has == MISSING) | (lr3_has == MISSING)
+        L, B = plr.L, plr.n_blocks
+        if B > 1:
+            r5 = ctx.node_cols(2, _PO_R5_SPECS)
+            lr5_has, rq0, rq1, a0c, a1c, b0c, b1c = r5
+            reject |= lr5_has == MISSING
+        if plr.n > 1:
+            coin2 = coins0 >> pm.lr_shift
+            p = plr.p
+            fw, fwm = plr.fw, plr.fw_mask
+            # A. index structure
+            reject |= (idx == MISSING) | (idx < 1) | (idx > 2 * L - 1)
+            reject |= ~has_left & (idx != 1)
+            r_idx = idx[right_nb]
+            reject |= has_right & (r_idx == MISSING)
+            reject |= has_right & np.where(r_idx == 1, idx != L, r_idx != idx + 1)
+            reject |= has_left & (idx > 1) & (idx[left_nb] != idx - 1)
+            sbr = has_right & (r_idx == idx + 1)
+            sbl = has_left & (idx > 1)
+            lo = idx <= L
+            if B > 1:
+                # B. consecutive-numbers proof
+                reject |= (x1b == MISSING) | (x2b == MISSING) | (side == MISSING)
+                reject |= lo & (side == 2) & ~((x1b == 1) & (x2b == 0))
+                reject |= lo & (side == 1) & ~((x1b == 0) & (x2b == 1))
+                reject |= lo & (side == 0) & (x1b != x2b)
+                reject |= (idx == L) & (side == 0)
+                mB = lo & sbr & (idx + 1 <= L)
+                r_side = side[right_nb]
+                reject |= mB & (r_side == MISSING)
+                reject |= mB & ((side == 1) | (side == 2)) & (r_side != 2)
+                mB = lo & sbl & (idx - 1 <= L)
+                l_side = side[left_nb]
+                reject |= mB & (l_side == MISSING)
+                reject |= mB & ((side == 0) | (side == 1)) & (l_side != 0)
+                reject |= (idx > L) & ((x1b != 0) | (x2b != 0))
+                # C. position streams over F_p
+                reject |= (
+                    (rcol == MISSING) | (rpcol == MISSING) | (pfx2 == MISSING)
+                    | (sfx1 == MISSING) | (pfx1 == MISSING)
+                )
+                reject |= has_left & (
+                    (rcol[left_nb] != rcol) | (rpcol[left_nb] != rpcol)
+                )
+                reject |= has_right & (
+                    (rcol[right_nb] != rcol) | (rpcol[right_nb] != rpcol)
+                )
+                raw2 = coin2 >> fw
+                reject |= ~has_left & (rcol != (raw2 & fwm) % p)
+                reject |= ~has_left & (rpcol != ((raw2 >> fw) & fwm) % p)
+                u2 = lo & (x2b == 1)
+                u1 = lo & (x1b == 1)
+                f2v = np.where(u2, (idx - rcol) % p, 1)
+                f1r = np.where(u1, (idx - rcol) % p, 1)
+                f1rp = np.where(u1, (idx - rpcol) % p, 1)
+                npfx2 = pfx2[left_nb]
+                npfx1 = pfx1[left_nb]
+                reject |= sbl & ((npfx2 == MISSING) | (npfx1 == MISSING))
+                reject |= sbl & (
+                    (pfx2 != npfx2 * f2v % p) | (pfx1 != npfx1 * f1rp % p)
+                )
+                reject |= ~sbl & ((pfx2 != f2v % p) | (pfx1 != f1rp % p))
+                nsfx = sfx1[right_nb]
+                reject |= sbr & ((nsfx == MISSING) | (sfx1 != nsfx * f1r % p))
+                reject |= ~sbr & (sfx1 != f1r % p)
+                reject |= (idx == 1) & has_left & (npfx2 != sfx1)
+            # D. inner-block edges + r_b distribution (every B)
+            reject |= rb == MISSING
+            reject |= (idx == 1) & (rb != (coin2 & fwm) % p)
+            reject |= sbl & (rb[left_nb] != rb)
+            reject |= seg_any(np, io & (inner == MISSING), slot_node, n)
+            outer = io & (inner == 0)
+            if B == 1:
+                reject |= seg_any(np, outer, slot_node, n)
+            innr = io & (inner == 1)
+            nb_idx = idx[nbr]
+            nb_rb = rb[nbr]
+            dbad = innr & ((nb_idx == MISSING) | (nb_rb == MISSING))
+            dbad |= innr & is_out & ~(idx[slot_node] < nb_idx)
+            dbad |= innr & is_in & ~(nb_idx < idx[slot_node])
+            dbad |= innr & (nb_rb != rb[slot_node])
+            reject |= seg_any(np, dbad, slot_node, n)
+            if B > 1:
+                # E. outer-block commitments
+                ebad = outer & ((ival == MISSING) | (jval == MISSING))
+                ebad |= outer & (
+                    (ival < 1) | (ival > L) | (jval < 0) | (jval >= p)
+                )
+                reject |= seg_any(np, ebad, slot_node, n)
+                out_o = outer & is_out
+                in_o = outer & is_in
+                co0 = seg_count(np, out_o, slot_node, n)
+                co1 = seg_count(np, in_o, slot_node, n)
+                iv0 = seg_pick(np, out_o, slot_node, ival, n)
+                jv0 = seg_pick(np, out_o, slot_node, jval, n)
+                iv1 = seg_pick(np, in_o, slot_node, ival, n)
+                jv1 = seg_pick(np, in_o, slot_node, jval, n)
+                reject |= (co0 == 1) & (co1 == 1) & (iv0 == iv1)
+                # session streams over F_p2
+                p2 = plr.p2
+                fw2, fw2m = plr.fw2, plr.fw2_mask
+                reject |= (
+                    (rq0 == MISSING) | (rq1 == MISSING) | (a0c == MISSING)
+                    | (a1c == MISSING) | (b0c == MISSING) | (b1c == MISSING)
+                )
+                reject |= (idx == 1) & (rq0 != (coins1 & fw2m) % p2)
+                reject |= (idx == 1) & (rq1 != ((coins1 >> fw2) & fw2m) % p2)
+                reject |= sbl & ((rq0[left_nb] != rq0) | (rq1[left_nb] != rq1))
+                ca0 = np.where(co0 == 1, ((iv0 - 1) * p + jv0 - rq0) % p2, 1)
+                ca1 = np.where(co1 == 1, ((iv1 - 1) * p + jv1 - rq1) % p2, 1)
+                # nodes with several outer edges on a side: the scalar
+                # dict-collapse (same index, same value merges; same
+                # index, different value rejects) and cross-side index
+                # disjointness run as a tight loop over just those nodes,
+                # overwriting their contribution terms
+                multi_e = np.nonzero((co0 > 1) | (co1 > 1))[0]
+                for v in multi_e.tolist():
+                    c0d: Dict[int, int] = {}
+                    c1d: Dict[int, int] = {}
+                    bad = False
+                    for s in range(int(indptr[v]), int(indptr[v + 1])):
+                        if out_o[s]:
+                            store = c0d
+                        elif in_o[s]:
+                            store = c1d
+                        else:
+                            continue
+                        i_, j_ = int(ival[s]), int(jval[s])
+                        if i_ in store and store[i_] != j_:
+                            bad = True
+                            break
+                        store[i_] = j_
+                    if not bad and set(c0d) & set(c1d):
+                        bad = True
+                    if bad:
+                        reject[v] = True
+                        continue
+                    rq0v, rq1v = int(rq0[v]), int(rq1[v])
+                    acc0 = 1
+                    for i_, j_ in c0d.items():
+                        acc0 = acc0 * (((i_ - 1) * p + j_ - rq0v) % p2) % p2
+                    acc1 = 1
+                    for i_, j_ in c1d.items():
+                        acc1 = acc1 * (((i_ - 1) * p + j_ - rq1v) % p2) % p2
+                    ca0[v] = acc0
+                    ca1[v] = acc1
+                reject |= lo & (mult == MISSING)
+                phi_prev = np.where(idx == 1, 1, pfx1[left_nb])
+                reject |= lo & (idx > 1) & (phi_prev == MISSING)
+                term_rq = np.where(x1b == 1, rq1, rq0)
+                tbase = ((idx - 1) * p + phi_prev - term_rq) % p2
+                term = pow_mod(np, tbase, mult, p2, plr.index_width)
+                cb1 = np.where(lo & (x1b == 1), term, 1)
+                cb0 = np.where(lo & (x1b != 1), term, 1)
+                ra0, ra1 = a0c[right_nb], a1c[right_nb]
+                rb0, rb1 = b0c[right_nb], b1c[right_nb]
+                reject |= sbr & (
+                    (ra0 == MISSING) | (ra1 == MISSING)
+                    | (rb0 == MISSING) | (rb1 == MISSING)
+                )
+                na0 = np.where(sbr, ra0, 1)
+                na1 = np.where(sbr, ra1, 1)
+                nb0 = np.where(sbr, rb0, 1)
+                nb1 = np.where(sbr, rb1, 1)
+                reject |= (a0c != na0 * ca0 % p2) | (a1c != na1 * ca1 % p2)
+                reject |= (b0c != nb0 * cb0 % p2) | (b1c != nb1 * cb1 % p2)
+                reject |= (idx == 1) & ((a0c != b0c) | (a1c != b1c))
+
+        # ---- 5. nesting verification ----
+        own_name = (coins0 >> pm.stv_bits) & pm.name_mask
+        reject |= (above == MISSING) | (hl == MISSING) | (hr == MISSING)
+        nbad = io & (
+            (ltail == MISSING) | (lhead == MISSING) | (name_t == MISSING)
+            | (name_h == MISSING) | (succ == MISSING)
+        )
+        reject |= seg_any(np, nbad, slot_node, n)
+        reject |= seg_any(
+            np, is_out & (name_t != own_name[slot_node]), slot_node, n
+        )
+        reject |= seg_any(
+            np, is_in & (name_h != own_name[slot_node]), slot_node, n
+        )
+        name = (name_t << pm.w) | name_h
+        cr = seg_count(np, is_out, slot_node, n)
+        cl = seg_count(np, is_in, slot_node, n)
+        reject |= ~has_right & (cr > 0)
+        reject |= ~has_left & (cl > 0)
+        reject |= (hl == 1) != (cl > 0)
+        reject |= (hr == 1) != (cr > 0)
+        # a single entry must be the longest mark and close the chain;
+        # longer chains run the scalar ordering search per node below
+        one_r = cr == 1
+        one_l = cl == 1
+        reject |= one_r & (seg_pick(np, is_out, slot_node, ltail, n) != 1)
+        reject |= one_l & (seg_pick(np, is_in, slot_node, lhead, n) != 1)
+        r_above = np.where(has_right, above[right_nb], MISSING)
+        l_above = np.where(has_left, above[left_nb], MISSING)
+        reject |= one_r & (
+            (r_above == MISSING)
+            | (seg_pick(np, is_out, slot_node, name, n) != r_above)
+            | (seg_pick(np, is_out, slot_node, succ, n) != above)
+        )
+        reject |= one_l & (
+            (l_above == MISSING)
+            | (seg_pick(np, is_in, slot_node, name, n) != l_above)
+            | (seg_pick(np, is_in, slot_node, succ, n) != above)
+        )
+        # no right edges, but a right path neighbor: the above values
+        # agree unless an edge ends exactly at the neighbor (its has_left)
+        r_hl = np.where(has_right, hl[right_nb], MISSING)
+        m0 = (cr == 0) & has_right
+        reject |= m0 & (r_hl == MISSING)
+        reject |= m0 & (r_hl == 0) & ((r_above == MISSING) | (r_above != above))
+        # nodes with several nesting entries on a side: run the scalar
+        # mark counts + recursive chain search over just those nodes
+        # (entries gathered in ascending port order, matching the search
+        # budget of the per-view checker)
+        multi_n = np.nonzero((cr > 1) | (cl > 1))[0]
+        for v in multi_n.tolist():
+            own_ab = int(above[v])
+            for flag_idx, count, smask, start in (
+                (0, int(cr[v]), is_out, int(r_above[v])),
+                (1, int(cl[v]), is_in, int(l_above[v])),
+            ):
+                if count <= 1:
+                    continue
+                entries = [
+                    (int(name[s]), int(succ[s]), bool(ltail[s]), bool(lhead[s]))
+                    for s in range(int(indptr[v]), int(indptr[v + 1]))
+                    if smask[s]
+                ]
+                marks = 2 if flag_idx == 0 else 3
+                other = 3 if flag_idx == 0 else 2
+                if sum(1 for e in entries if e[marks]) != 1:
+                    reject[v] = True
+                elif any(not e[marks] and not e[other] for e in entries):
+                    reject[v] = True
+                elif not _chain_ok(entries, start, own_ab, flag_idx):
+                    reject[v] = True
+
+        return ~reject, fallback
+
+    return kernel

@@ -155,6 +155,38 @@ class Graph:
             return True
         return len(self._bfs_order(0)) == self.n
 
+    def has_path(self, u: int, v: int) -> bool:
+        """BFS reachability with early exit on reaching ``v``.
+
+        Much cheaper than ``is_connected`` when only one pair matters
+        (e.g. does deleting edge (u, v) disconnect a connected graph),
+        since the sweep stops as soon as an alternative route shows up.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            return True
+        adj = self._adj
+        # bidirectional BFS: alternate expanding the smaller frontier; the
+        # searches meet near the middle, so connected probes (the common
+        # case) touch far fewer nodes than a one-sided sweep
+        seen_u, seen_v = {u}, {v}
+        frontier_u, frontier_v = [u], [v]
+        while frontier_u and frontier_v:
+            if len(frontier_u) > len(frontier_v):
+                frontier_u, frontier_v = frontier_v, frontier_u
+                seen_u, seen_v = seen_v, seen_u
+            nxt = []
+            for x in frontier_u:
+                for y in adj[x]:
+                    if y in seen_v:
+                        return True
+                    if y not in seen_u:
+                        seen_u.add(y)
+                        nxt.append(y)
+            frontier_u = nxt
+        return False
+
     def connected_components(self) -> List[List[int]]:
         seen: Set[int] = set()
         components = []
@@ -185,7 +217,7 @@ class Graph:
         queue = deque([root])
         while queue:
             u = queue.popleft()
-            for v in sorted(self._adj[u]):
+            for v in self.neighbors(u):  # memoized sorted adjacency
                 if v not in parent:
                     parent[v] = u
                     queue.append(v)

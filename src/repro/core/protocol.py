@@ -19,6 +19,7 @@ import random
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Dict, Iterable, Optional
 
+from .columnar import run_kernel as run_columnar_kernel
 from .labels import EMPTY_LABEL, BitString, Label, packed_labels_disabled
 from .network import Graph
 from .transcript import RunResult, Transcript
@@ -328,22 +329,63 @@ class Interaction:
         shared_inputs: Optional[Dict[int, Dict[str, Any]]] = None,
         protocol_name: str = "dip",
         meta: Optional[dict] = None,
+        columnar=None,
     ) -> RunResult:
         """Evaluate the local decision at every node and aggregate.
 
-        The verifier accepts iff *all* nodes output yes.
+        The verifier accepts iff *all* nodes output yes.  ``columnar`` is
+        an optional vectorized kernel (see :mod:`repro.core.columnar`)
+        computing the same per-node verdicts over packed-label columns;
+        nodes the kernel marks as fallback -- and every node when the
+        kernel does not apply at all -- go through ``check`` unchanged,
+        so verdicts (and canonical reports) are identical either way.
         """
         if not self.transcript.ends_with_prover():
             raise ProtocolError("interaction must end with a prover round")
-        views = build_views(self.graph, self.transcript, inputs, shared_inputs)
-        global _DECODE_CACHE
-        cache = None if decode_cache_disabled() else DecodeCache()
-        previous = _DECODE_CACHE
-        _DECODE_CACHE = cache
-        try:
-            rejecting = [v for v in self.graph.nodes() if not check(views[v])]
-        finally:
-            _DECODE_CACHE = previous
+        kernel_ok = kernel_fb = None
+        if columnar is not None:
+            kernel_out = run_columnar_kernel(
+                columnar, self.graph, self.transcript
+            )
+            if kernel_out is not None:
+                kernel_ok, kernel_fb = kernel_out
+        cache = None
+        if kernel_ok is not None and not kernel_fb.any():
+            # fully covered: skip view construction entirely
+            rejecting = [v for v in self.graph.nodes() if not kernel_ok[v]]
+        else:
+            views = build_views(self.graph, self.transcript, inputs, shared_inputs)
+            global _DECODE_CACHE
+            cache = None if decode_cache_disabled() else DecodeCache()
+            previous = _DECODE_CACHE
+            _DECODE_CACHE = cache
+            try:
+                if kernel_ok is not None:
+                    rejecting = [
+                        v
+                        for v in self.graph.nodes()
+                        if not (
+                            check(views[v]) if kernel_fb[v] else kernel_ok[v]
+                        )
+                    ]
+                else:
+                    rejecting = [
+                        v for v in self.graph.nodes() if not check(views[v])
+                    ]
+            finally:
+                _DECODE_CACHE = previous
+        if kernel_ok is not None:
+            from ..obs import metrics as obs_metrics
+
+            n_fb = int(kernel_fb.sum())
+            obs_metrics.inc(
+                "repro_vector_decide_nodes_total", self.graph.n - n_fb,
+                help="nodes decided by vectorized columnar kernels",
+            )
+            obs_metrics.inc(
+                "repro_vector_fallback_nodes_total", n_fb,
+                help="kernel-run nodes re-checked via the per-view path",
+            )
         if cache is not None and (cache.hits or cache.misses):
             # lazy import: obs builds on core, so core must not import obs
             # at module load; the counters live outside canonical identity

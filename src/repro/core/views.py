@@ -21,7 +21,8 @@ view.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from types import MappingProxyType
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from .labels import EMPTY_LABEL, BitString, Label
 from .network import Graph
@@ -46,11 +47,14 @@ class NodeView:
     #: ``neighbor_labels[i][port]`` = label of the neighbor behind ``port``
     neighbor_labels: List[List[Label]] = field(default_factory=list)
     #: ``edge_labels[i][port]`` = label of the incident edge behind ``port``
-    #: in the i-th prover round (empty label if none was assigned)
-    edge_labels: List[List[Label]] = field(default_factory=list)
+    #: in the i-th prover round (empty label if none was assigned).  Rounds
+    #: without edge labels share one immutable tuple per degree.
+    edge_labels: List[Sequence[Label]] = field(default_factory=list)
     #: ``neighbor_inputs[port]`` = the *shared* part of a neighbor's input
-    #: (edge-local data both endpoints see, e.g. path-edge markers)
-    neighbor_inputs: List[Dict[str, Any]] = field(default_factory=list)
+    #: (edge-local data both endpoints see, e.g. path-edge markers).
+    #: Read-only mappings: one copy is aliased across every neighboring
+    #: view, so mutation by one checker must not corrupt its siblings.
+    neighbor_inputs: List[Mapping[str, Any]] = field(default_factory=list)
 
     def own(self, round_index: int) -> Label:
         return self.own_labels[round_index]
@@ -78,22 +82,23 @@ def build_views(
     shared_inputs = shared_inputs or {}
     prover_rounds = transcript.prover_rounds()
     verifier_rounds = transcript.verifier_rounds()
-    no_input: Dict[str, Any] = {}
+    no_input: Mapping[str, Any] = MappingProxyType({})
 
     # Hoist everything per-round out of the node loop: one flat label row
     # per prover round (so neighbor reads are list indexing, not dict
     # lookups through rnd.label), the coin dicts, and the edge-label
-    # stores.  Views are read-only by contract (checkers never mutate
-    # them), so the all-empty edge rows and the per-source shared-input
-    # copies are built once and shared across views.
+    # stores.  The all-empty edge rows and the per-source shared-input
+    # copies are built once and aliased across many views, so they are
+    # pinned immutable (tuples / mapping proxies): a misbehaving checker
+    # mutating its view cannot corrupt a sibling's.
     n = graph.n
     coin_rows = [rnd.coins for rnd in verifier_rounds]
     label_rows = [
         [rnd.labels.get(v, EMPTY_LABEL) for v in range(n)] for rnd in prover_rounds
     ]
     edge_stores = [rnd.edge_labels for rnd in prover_rounds]
-    empty_edge_row: Dict[int, List[Label]] = {}
-    shared_copies: Dict[int, Dict[str, Any]] = {}
+    empty_edge_row: Dict[int, Tuple[Label, ...]] = {}
+    shared_copies: Dict[int, Mapping[str, Any]] = {}
 
     views: Dict[int, NodeView] = {}
     for v in graph.nodes():
@@ -111,7 +116,7 @@ def build_views(
             else:
                 row = empty_edge_row.get(deg)
                 if row is None:
-                    row = empty_edge_row[deg] = [EMPTY_LABEL] * deg
+                    row = empty_edge_row[deg] = (EMPTY_LABEL,) * deg
                 edge_labels.append(row)
         inp = inputs.get(v)
         view = NodeView(
@@ -127,7 +132,9 @@ def build_views(
             for u in nbrs:
                 copy = shared_copies.get(u)
                 if copy is None:
-                    copy = shared_copies[u] = dict(shared_inputs.get(u, no_input))
+                    copy = shared_copies[u] = MappingProxyType(
+                        dict(shared_inputs.get(u, no_input))
+                    )
                 nbr_inputs.append(copy)
             view.neighbor_inputs = nbr_inputs
         else:

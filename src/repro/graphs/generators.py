@@ -155,7 +155,10 @@ def random_planar(
     to_remove = int((1 - keep_fraction) * len(edges))
     for u, v in edges[:to_remove]:
         g.remove_edge(u, v)
-        if not g.is_connected():
+        # the graph was connected, so deleting (u, v) can only cut the
+        # u-v route: an early-exit reachability probe replaces the full
+        # connectivity sweep without changing any verdict
+        if not g.has_path(u, v):
             g.add_edge(u, v)
     g, _ = shuffle_labels(g, rng)
     return g
@@ -261,7 +264,7 @@ def random_treewidth2(
     rng.shuffle(edges)
     for u, v in edges[: int((1 - keep_fraction) * len(edges))]:
         g.remove_edge(u, v)
-        if not g.is_connected():
+        if not g.has_path(u, v):
             g.add_edge(u, v)
     g, _ = shuffle_labels(g, rng)
     return g

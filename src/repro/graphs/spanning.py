@@ -51,6 +51,7 @@ class RootedForest:
         for v in list(self.parent):
             resolve(v)
         self._depth = depth
+        self._kids: Optional[Dict[int, List[int]]] = None
 
     def roots(self) -> List[int]:
         return [v for v in range(self.n) if v not in self.parent]
@@ -59,14 +60,19 @@ class RootedForest:
         return self._depth.get(v, 0)
 
     def children(self, v: int) -> List[int]:
-        return sorted(u for u, p in self.parent.items() if p == v)
+        return list(self.children_map().get(v, ()))
 
     def children_map(self) -> Dict[int, List[int]]:
-        out: Dict[int, List[int]] = {v: [] for v in range(self.n)}
-        for u, p in self.parent.items():
-            out[p].append(u)
-        for v in out:
-            out[v].sort()
+        """Node -> sorted children (cached; parent pointers are immutable
+        after construction, and every caller treats the map as read-only)."""
+        out = self._kids
+        if out is None:
+            out = {v: [] for v in range(self.n)}
+            for u, p in self.parent.items():
+                out[p].append(u)
+            for v in out:
+                out[v].sort()
+            self._kids = out
         return out
 
     def edges(self) -> List[Edge]:

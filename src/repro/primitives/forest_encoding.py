@@ -34,51 +34,60 @@ MAX_COLORS = 1 << COLOR_BITS
 FOREST_LABEL_BITS = 2 * COLOR_BITS + 2
 
 
-def _contracted_graph(
-    graph: Graph, forest: RootedForest, contract_parity: int
-) -> Tuple[Graph, List[int]]:
-    """Contract every (v, parent(v)) edge with depth(v) % 2 == contract_parity.
+def _contracted_graphs(
+    graph: Graph, forest: RootedForest
+) -> Tuple[Graph, List[int], Graph, List[int]]:
+    """Contract (v, parent(v)) edges by depth parity, both parities at once.
 
-    Returns the contracted graph plus the map node -> contracted-node id.
-    Self-loops vanish; parallel edges merge (colorings only need adjacency).
+    Returns ``(g_odd, map_odd, g_even, map_even)`` where g_odd contracts the
+    edges with odd depth(v) and g_even the even ones; each map sends a node
+    to its contracted-node id.  Self-loops vanish; parallel edges merge
+    (colorings only need adjacency).  The single fused pass walks the forest
+    and the (memoized) edge list once instead of twice.
     """
-    # union-find over contraction groups
-    rep = list(range(graph.n))
+    # one union-find per parity over contraction groups
+    reps = (list(range(graph.n)), list(range(graph.n)))
 
-    def find(v: int) -> int:
+    def find(rep: List[int], v: int) -> int:
         while rep[v] != v:
             rep[v] = rep[rep[v]]
             v = rep[v]
         return v
 
+    depth = forest.depth
     for v, parent in forest.parent.items():
-        if forest.depth(v) % 2 == contract_parity:
-            rv, rp = find(v), find(parent)
-            if rv != rp:
-                rep[rv] = rp
-    group: Dict[int, int] = {}
-    mapping = [0] * graph.n
-    for v in range(graph.n):
-        r = find(v)
-        g = group.get(r)
-        if g is None:
-            g = group[r] = len(group)
-        mapping[v] = g
-    edges = []
-    for u in range(graph.n):
-        cu = mapping[u]
-        for v in graph.neighbors(u):
-            if u < v:
-                cv = mapping[v]
-                if cu != cv:
-                    edges.append((cu, cv))
-    return Graph.from_edge_list(len(group), edges), mapping
+        rep = reps[depth(v) % 2]
+        rv, rp = find(rep, v), find(rep, parent)
+        if rv != rp:
+            rep[rv] = rp
+    mappings = ([0] * graph.n, [0] * graph.n)
+    for parity in (0, 1):
+        rep, mapping = reps[parity], mappings[parity]
+        group: Dict[int, int] = {}
+        for v in range(graph.n):
+            r = find(rep, v)
+            g = group.get(r)
+            if g is None:
+                g = group[r] = len(group)
+            mapping[v] = g
+    map_even, map_odd = mappings
+    edges_odd: List[Tuple[int, int]] = []
+    edges_even: List[Tuple[int, int]] = []
+    for u, v in graph.edges():  # memoized on the graph; shared across calls
+        cu, cv = map_odd[u], map_odd[v]
+        if cu != cv:
+            edges_odd.append((cu, cv))
+        cu, cv = map_even[u], map_even[v]
+        if cu != cv:
+            edges_even.append((cu, cv))
+    g_odd = Graph.from_edge_list(max(map_odd, default=-1) + 1, edges_odd)
+    g_even = Graph.from_edge_list(max(map_even, default=-1) + 1, edges_even)
+    return g_odd, map_odd, g_even, map_even
 
 
 def forest_encoding_labels(graph: Graph, forest: RootedForest) -> Dict[int, Label]:
     """The honest prover's Lemma-2.3 labels for communicating ``forest``."""
-    g_odd, map_odd = _contracted_graph(graph, forest, contract_parity=1)
-    g_even, map_even = _contracted_graph(graph, forest, contract_parity=0)
+    g_odd, map_odd, g_even, map_even = _contracted_graphs(graph, forest)
     col_odd = greedy_coloring(g_odd)
     col_even = greedy_coloring(g_even)
     if max(col_odd.values(), default=0) >= MAX_COLORS or (

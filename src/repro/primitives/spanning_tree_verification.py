@@ -100,23 +100,31 @@ def honest_round3_labels(
         v = stack.pop()
         order.append(v)
         stack.extend(children[v])
+    p = STV_FIELD.p
     for v in reversed(order):
         sums = list(x[v])
-        for c in children[v]:
+        kids = children[v]
+        if kids:
             for j in range(repetitions):
-                sums[j] = (sums[j] + s[c][j]) % STV_FIELD.p
+                t = sums[j]
+                for c in kids:
+                    t += s[c][j]
+                sums[j] = t % p
         s[v] = sums
     keys = _round3_keys(repetitions)
     # trusted construction: every value above is reduced mod p already
-    ew = field_elem_width(STV_FIELD.p)
+    ew = field_elem_width(p)
     size = 2 * repetitions * ew
+    # the Z fields are identical across nodes: share one tuple per j
+    # (insertion order stays interleaved s0, Z0, s1, Z1, ... -- wire layout)
+    z_fields = [("felem", z_totals[j], ew) for j in range(repetitions)]
     labels: Dict[int, Label] = {}
     for v in graph.nodes():
         s_v = s[v]
         fields = {}
         for j, (key_s, key_z) in enumerate(keys):
             fields[key_s] = ("felem", s_v[j], ew)
-            fields[key_z] = ("felem", z_totals[j], ew)
+            fields[key_z] = z_fields[j]
         labels[v] = Label._trusted(fields, size)
     return labels
 

@@ -39,6 +39,11 @@ class EulerReduction:
     copy_of: Dict[Tuple[int, int], int]
     #: host node -> list of host nodes that carry each copy's labels
     carrier: Dict[int, int]
+    #: traversal order and branch indices computed during construction --
+    #: pure functions of (graph, tree, rotations), cached so the
+    #: rotation-consistency check does not recompute them
+    children_order: Optional[Dict[int, List[int]]] = None
+    bi_cache: Optional[Dict[Tuple[int, int], int]] = None
 
     def hosts_of_copy(self) -> Dict[int, List[int]]:
         """copy id -> host nodes simulating it (for label accounting).
@@ -63,7 +68,8 @@ def ordered_children(
     the edge to the parent.  For r: children sorted by rho_r value (all
     neighbors of r in T, in rotation order from the first).
     """
-    children_set = {v: set(tree.children(v)) for v in graph.nodes()}
+    kids_map = tree.children_map()
+    children_set = {v: set(kids_map.get(v, ())) for v in graph.nodes()}
     out: Dict[int, List[int]] = {}
     for v in graph.nodes():
         rot = rotations.rotation(v)
@@ -128,9 +134,25 @@ def rotation_order_consistent(
     nesting order of its copies' edges; here we evaluate the equivalent
     predicate from the reduction's positions.
     """
-    children_order = ordered_children(graph, tree, rotations, root)
+    children_order = (
+        reduction.children_order
+        if reduction.children_order is not None
+        else ordered_children(graph, tree, rotations, root)
+    )
     pos = {c: i for i, c in enumerate(reduction.path)}
     tree_edges = {norm_edge(v, p) for v, p in tree.parent.items()}
+    bi_cache: Dict[Tuple[int, int], int] = (
+        reduction.bi_cache if reduction.bi_cache is not None else {}
+    )
+
+    def bi(w: int, other: int) -> int:
+        key = (w, other)
+        r = bi_cache.get(key)
+        if r is None:
+            r = branch_index(graph, tree, rotations, root, children_order, w, other)
+            bi_cache[key] = r
+        return r
+
     for v in graph.nodes():
         rotv = rotations.rotation(v)
         parent = tree.parent.get(v)
@@ -143,7 +165,7 @@ def rotation_order_consistent(
         for w in rotv:
             if norm_edge(v, w) in tree_edges:
                 continue
-            i = branch_index(graph, tree, rotations, root, children_order, v, w)
+            i = bi(v, w)
             segments.setdefault(i, []).append(w)
         # rebuild each segment in cw order starting right after its anchor
         for i, members in segments.items():
@@ -151,15 +173,13 @@ def rotation_order_consistent(
             if anchor is None:
                 return False  # Q edge claimed on the root's copy 0
             k = rotv.index(anchor)
-            ordered = [w for w in rotv[k + 1 :] + rotv[:k] if w in set(members)]
+            mset = set(members)
+            ordered = [w for w in rotv[k + 1 :] + rotv[:k] if w in mset]
             cid = reduction.copy_of[(v, i)]
             q = pos[cid]
             offsets = []
             for w in ordered:
-                iw = branch_index(
-                    graph, tree, rotations, root, children_order, w, v
-                )
-                offsets.append(pos[reduction.copy_of[(w, iw)]] - q)
+                offsets.append(pos[reduction.copy_of[(w, bi(w, v))]] - q)
             lefts = [o for o in offsets if o < 0]
             rights = [o for o in offsets if o > 0]
             if offsets != lefts + rights:
@@ -208,11 +228,14 @@ def build_euler_reduction(
         h.add_edge(a, b)
 
     tree_edges = {norm_edge(v, p) for v, p in tree.parent.items()}
+    bi_cache: Dict[Tuple[int, int], int] = {}
     for u, v in graph.edges():
         if norm_edge(u, v) in tree_edges:
             continue
         iu = branch_index(graph, tree, rotations, root, children_order, u, v)
         iv = branch_index(graph, tree, rotations, root, children_order, v, u)
+        bi_cache[(u, v)] = iu
+        bi_cache[(v, u)] = iv
         cu, cv = copy_id(u, iu), copy_id(v, iv)
         if cu != cv and not h.has_edge(cu, cv):
             h.add_edge(cu, cv)
@@ -222,5 +245,11 @@ def build_euler_reduction(
     for cid, (v, i) in copy_info.items():
         carrier[cid] = v if i == 0 else children_order[v][i - 1]
     return EulerReduction(
-        h=h, path=path, copy_info=copy_info, copy_of=copy_of, carrier=carrier
+        h=h,
+        path=path,
+        copy_info=copy_info,
+        copy_of=copy_of,
+        carrier=carrier,
+        children_order=children_order,
+        bi_cache=bi_cache,
     )

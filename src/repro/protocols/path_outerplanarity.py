@@ -55,8 +55,10 @@ from ..primitives.forest_encoding import (
     forest_encoding_labels,
     forest_label_fields,
 )
+from ..core.columnar import make_po_kernel
 from ..primitives.spanning_tree_verification import (
     STV_ELEM_BITS,
+    STV_FIELD,
     honest_round3_labels as stv_round3,
     check_node_fields as stv_check_fields,
     stv_label_fields,
@@ -350,11 +352,19 @@ class PathOuterplanarityProtocol(DIPProtocol):
     # -- label formats -------------------------------------------------------
 
     def _r1_node(self, pm, fields) -> Label:
-        lbl = Label()
         commit = fields.get("commit")
-        lbl.sub("commit", commit if isinstance(commit, Label) else None)
-        lbl.sub("lr", self._lr_r1_node(pm, fields.get("lr") or {}))
-        return lbl
+        if not isinstance(commit, Label):
+            commit = Label()
+        lr = self._lr_r1_node(pm, fields.get("lr") or {})
+        if lr is None:
+            lr = Label()
+        return Label._trusted(
+            {
+                "commit": ("label", commit, commit._size),
+                "lr": ("label", lr, lr._size),
+            },
+            commit._size + lr._size,
+        )
 
     def _lr_r1_node(self, pm, f) -> Optional[Label]:
         if not f:
@@ -381,13 +391,20 @@ class PathOuterplanarityProtocol(DIPProtocol):
         return Label._trusted(fields, size)
 
     def _r1_edge(self, pm, f) -> Label:
-        lbl = Label().flag("inner", f.get("inner", True))
-        if not f.get("inner", True):
-            lbl.uint("I", f["I"], pm.lr.index_width)
-        lbl.flag("fwd", f.get("fwd", False))
-        lbl.flag("ltail", f.get("ltail", False))
-        lbl.flag("lhead", f.get("lhead", False))
-        return lbl
+        inner = bool(f.get("inner", True))
+        fields = {"inner": ("flag", inner, 1)}
+        size = 1
+        if not inner:
+            iw = pm.lr.index_width
+            i_val = f["I"]
+            if i_val < 0 or i_val.bit_length() > iw:
+                raise ValueError(f"I={i_val} does not fit in {iw} bits")
+            fields["I"] = ("uint", i_val, iw)
+            size += iw
+        fields["fwd"] = ("flag", bool(f.get("fwd", False)), 1)
+        fields["ltail"] = ("flag", bool(f.get("ltail", False)), 1)
+        fields["lhead"] = ("flag", bool(f.get("lhead", False)), 1)
+        return Label._trusted(fields, size + 3)
 
     _R3_MULTI_KEYS = ("r", "rp", "pfx2_r", "sfx1_r", "pfx1_rp")
 
@@ -410,11 +427,22 @@ class PathOuterplanarityProtocol(DIPProtocol):
         else:
             lr_lbl = Label()
         nest = f.get("nest") or {}
-        nest_lbl = (
-            Label()
-            .maybe("above", nest.get("above"), 2 * pm.w)
-            .flag("has_left", nest.get("has_left", False))
-            .flag("has_right", nest.get("has_right", False))
+        above = nest.get("above")
+        if above is None:
+            af = ("maybe", None, 1)
+        else:
+            above = int(above)
+            w2 = 2 * pm.w
+            if above < 0 or above.bit_length() > w2:
+                raise ValueError(f"above={above} does not fit in {w2} bits")
+            af = ("maybe", above, 1 + w2)
+        nest_lbl = Label._trusted(
+            {
+                "above": af,
+                "has_left": ("flag", bool(nest.get("has_left", False)), 1),
+                "has_right": ("flag", bool(nest.get("has_right", False)), 1),
+            },
+            af[2] + 2,
         )
         return Label._trusted(
             {
@@ -426,13 +454,34 @@ class PathOuterplanarityProtocol(DIPProtocol):
         )
 
     def _r3_edge(self, pm, f) -> Label:
-        lbl = Label()
+        plr = pm.lr
+        w = pm.w
+        fields = {}
+        size = 0
         if "jval" in f:
-            lbl.field_elem("jval", f["jval"], pm.lr.p)
-        lbl.uint("name_t", f["name_t"], pm.w)
-        lbl.uint("name_h", f["name_h"], pm.w)
-        lbl.maybe("succ", f.get("succ"), 2 * pm.w)
-        return lbl
+            jval = f["jval"]
+            if not 0 <= jval < plr.p:
+                raise ValueError(f"jval={jval} is not an element of F_{plr.p}")
+            fields["jval"] = ("felem", jval, plr.fw)
+            size += plr.fw
+        for key in ("name_t", "name_h"):
+            value = f[key]
+            if value < 0 or value.bit_length() > w:
+                raise ValueError(f"{key}={value} does not fit in {w} bits")
+            fields[key] = ("uint", value, w)
+            size += w
+        succ = f.get("succ")
+        if succ is None:
+            fields["succ"] = ("maybe", None, 1)
+            size += 1
+        else:
+            succ = int(succ)
+            w2 = 2 * w
+            if succ < 0 or succ.bit_length() > w2:
+                raise ValueError(f"succ={succ} does not fit in {w2} bits")
+            fields["succ"] = ("maybe", succ, 1 + w2)
+            size += 1 + w2
+        return Label._trusted(fields, size)
 
     def _r5_node(self, pm, f) -> Label:
         lr = f.get("lr") or {}
@@ -539,7 +588,11 @@ class PathOuterplanarityProtocol(DIPProtocol):
 
         checker = _make_checker(pm)
         return interaction.decide(
-            checker, inputs={}, protocol_name=self.name, meta={"params": pm}
+            checker,
+            inputs={},
+            protocol_name=self.name,
+            meta={"params": pm},
+            columnar=make_po_kernel(pm, STV_FIELD.p, STV_ELEM_BITS, N_FORESTS),
         )
 
 

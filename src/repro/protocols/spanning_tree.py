@@ -22,8 +22,10 @@ from ..primitives.forest_encoding import (
     forest_encoding_labels,
     forest_label_fields,
 )
+from ..core.columnar import make_stv_kernel
 from ..primitives.spanning_tree_verification import (
     STV_ELEM_BITS,
+    STV_FIELD,
     check_node_fields,
     honest_round3_labels,
     stv_label_fields,
@@ -138,4 +140,7 @@ class SpanningTreeVerificationProtocol(DIPProtocol):
             check,
             inputs={v: {"tree_ports": tree_ports[v]} for v in g.nodes()},
             protocol_name=self.name,
+            columnar=make_stv_kernel(
+                reps, STV_FIELD.p, STV_ELEM_BITS, tree_ports if enforce else None
+            ),
         )

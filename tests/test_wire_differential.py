@@ -33,7 +33,7 @@ MUTATION_KEYS = (
 )
 
 
-def _set_mode(monkeypatch, *, packed, cache=True):
+def _set_mode(monkeypatch, *, packed, cache=True, vector=None):
     if packed:
         monkeypatch.delenv("REPRO_DISABLE_PACKED_LABELS", raising=False)
     else:
@@ -44,6 +44,17 @@ def _set_mode(monkeypatch, *, packed, cache=True):
         monkeypatch.delenv("REPRO_DISABLE_DECODE_CACHE", raising=False)
     else:
         monkeypatch.setenv("REPRO_DISABLE_DECODE_CACHE", "1")
+    if vector is None:
+        monkeypatch.delenv("REPRO_DISABLE_VECTOR_DECIDE", raising=False)
+        monkeypatch.delenv("REPRO_VECTOR_MIN_NODES", raising=False)
+    elif vector:
+        # the harness n sits below the default size floor: drop the gate
+        # so the kernels genuinely decide these runs
+        monkeypatch.delenv("REPRO_DISABLE_VECTOR_DECIDE", raising=False)
+        monkeypatch.setenv("REPRO_VECTOR_MIN_NODES", "2")
+    else:
+        monkeypatch.setenv("REPRO_DISABLE_VECTOR_DECIDE", "1")
+        monkeypatch.delenv("REPRO_VECTOR_MIN_NODES", raising=False)
 
 
 def _run(task, adversary=None, *, workers=0, n=24, runs=3, seed=11):
@@ -116,6 +127,52 @@ class TestFullCross:
                         task, workers=workers
                     ).canonical_json()
         baseline = reports[(True, True, 0)]
+        for combo, canonical in reports.items():
+            assert canonical == baseline, combo
+
+
+class TestVectorDifferential:
+    """The third axis: vectorized columnar decide on vs. off.
+
+    Kernel verdicts must collapse to the per-view path's byte for byte --
+    honest and adversarial, on both wire representations.  The vector-on
+    legs force ``REPRO_VECTOR_MIN_NODES=2`` so the kernels actually decide
+    these (deliberately small) runs instead of ducking under the size gate.
+    """
+
+    @pytest.mark.parametrize("task", ALL_TASKS)
+    @pytest.mark.parametrize("adversary", [None] + FUZZ_ADVERSARIES)
+    def test_vector_cross_representations(self, task, adversary, monkeypatch):
+        reports = {}
+        for packed in (True, False):
+            for vector in (True, False):
+                _set_mode(monkeypatch, packed=packed, vector=vector)
+                reports[(packed, vector)] = _run(task, adversary)
+        baseline = reports[(True, False)]
+        base_json = baseline.canonical_json()
+        for combo, report in reports.items():
+            assert report.canonical_json() == base_json, combo
+            assert _outcomes(report) == _outcomes(baseline), combo
+            if adversary:
+                # fuzz wire coordinates unchanged across the vector axis
+                for a, b in zip(baseline.records, report.records):
+                    extra_a = a.extra or {}
+                    extra_b = b.extra or {}
+                    for key in MUTATION_KEYS:
+                        assert extra_a.get(key) == extra_b.get(key), (combo, key)
+
+    @pytest.mark.parametrize("task", ALL_TASKS)
+    def test_vector_cross_workers(self, task, monkeypatch):
+        """Vector on/off x {serial, 2 workers}: shard decides cross a
+        process boundary, so the kernels run on wire-backed labels there."""
+        reports = {}
+        for vector in (True, False):
+            for workers in (0, 2):
+                _set_mode(monkeypatch, packed=True, vector=vector)
+                reports[(vector, workers)] = _run(
+                    task, workers=workers
+                ).canonical_json()
+        baseline = reports[(False, 0)]
         for combo, canonical in reports.items():
             assert canonical == baseline, combo
 
